@@ -1,0 +1,12 @@
+// Package contractstm is a from-scratch Go reproduction of "Adding
+// Concurrency to Smart Contracts" (Dickerson, Gazzillo, Herlihy, Koskinen —
+// PODC 2017): speculative parallel smart-contract mining via transactional
+// boosting, and deterministic parallel validation via published fork-join
+// schedules.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the paper-vs-measured evaluation, and
+// examples/ for runnable entry points. The root package carries the
+// repository-level benchmarks (bench_test.go), one per table and figure of
+// the paper.
+package contractstm

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"contractstm/internal/stm"
+	"contractstm/internal/workload"
+)
+
+// smallCfg keeps unit tests fast.
+func smallCfg() Config { return Config{Workers: 3, Runs: 1} }
+
+func TestMeasureProducesSpeedups(t *testing.T) {
+	m, err := Measure(workload.Params{
+		Kind: workload.KindBallot, Transactions: 60, ConflictPercent: 15, Seed: DefaultSeed,
+	}, smallCfg())
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if m.MinerSpeedup <= 0 || m.ValidatorSpeedup <= 0 {
+		t.Fatalf("speedups = %f/%f", m.MinerSpeedup, m.ValidatorSpeedup)
+	}
+	if m.SerialTime.N() != 1 || m.MinerTime.N() != 1 || m.ValidatorTime.N() != 1 {
+		t.Fatalf("expected exactly one measured run, got %d/%d/%d",
+			m.SerialTime.N(), m.MinerTime.N(), m.ValidatorTime.N())
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	p := workload.Params{Kind: workload.KindMixed, Transactions: 45, ConflictPercent: 30, Seed: DefaultSeed}
+	m1, err := Measure(p, smallCfg())
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	m2, _ := Measure(p, smallCfg())
+	if m1.MinerSpeedup != m2.MinerSpeedup || m1.ValidatorSpeedup != m2.ValidatorSpeedup {
+		t.Fatalf("nondeterministic measurements: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestMeasureMultipleRunsZeroVariance(t *testing.T) {
+	// Virtual time is exact: repeated runs must agree to the unit.
+	m, err := Measure(workload.Params{
+		Kind: workload.KindBallot, Transactions: 30, ConflictPercent: 15, Seed: DefaultSeed,
+	}, Config{Workers: 3, Runs: 3})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if m.SerialTime.StdDev() != 0 || m.MinerTime.StdDev() != 0 || m.ValidatorTime.StdDev() != 0 {
+		t.Fatalf("virtual-time stddev nonzero: %f/%f/%f",
+			m.SerialTime.StdDev(), m.MinerTime.StdDev(), m.ValidatorTime.StdDev())
+	}
+}
+
+func TestMeasureLazyPolicy(t *testing.T) {
+	m, err := Measure(workload.Params{
+		Kind: workload.KindBallot, Transactions: 40, ConflictPercent: 15, Seed: DefaultSeed,
+	}, Config{Workers: 3, Policy: stm.PolicyLazy})
+	if err != nil {
+		t.Fatalf("Measure lazy: %v", err)
+	}
+	if m.MinerSpeedup <= 0 {
+		t.Fatal("lazy policy produced no measurement")
+	}
+}
+
+func TestSweepAndTable1(t *testing.T) {
+	sizes := []int{10, 40}
+	percents := []int{0, 100}
+	figs, table, err := RunAll(smallCfg(), sizes, percents)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(figs) != 4 || len(table.Rows) != 4 {
+		t.Fatalf("figs=%d rows=%d", len(figs), len(table.Rows))
+	}
+	for _, f := range figs {
+		if len(f.BlockSize.Points) != len(sizes) || len(f.Conflict.Points) != len(percents) {
+			t.Fatalf("%v: wrong point counts", f.Kind)
+		}
+	}
+	if table.OverallMiner <= 0 || table.OverallValidator <= 0 {
+		t.Fatalf("overall averages: %f/%f", table.OverallMiner, table.OverallValidator)
+	}
+	// The paper's headline relationship: validators outperform miners.
+	if table.OverallValidator <= table.OverallMiner {
+		t.Fatalf("validator avg %.2f <= miner avg %.2f; the paper's headline relation is violated",
+			table.OverallValidator, table.OverallMiner)
+	}
+}
+
+func TestReports(t *testing.T) {
+	figs, table, err := RunAll(smallCfg(), []int{20}, []int{50})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, table)
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Miner", "Validator", "Ballot", "SimpleAuction", "EtherDoc", "Mixed", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	WriteFigure1(&sb, figs[0])
+	if !strings.Contains(sb.String(), "Figure 1 [Ballot]") {
+		t.Fatalf("figure output:\n%s", sb.String())
+	}
+	sb.Reset()
+	WriteAppendixB(&sb, figs[0], TimeUnit(ModeSim))
+	if !strings.Contains(sb.String(), "Appendix B [Ballot]") || !strings.Contains(sb.String(), "±") {
+		t.Fatalf("appendix output:\n%s", sb.String())
+	}
+	sb.Reset()
+	WriteCSV(&sb, figs)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header + 4 benchmarks x (1 size + 1 conflict) points
+	if len(lines) != 1+4*2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,sweep,x,") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != 14 {
+			t.Fatalf("csv row has wrong arity: %s", l)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Workers != 3 || c.Mode != ModeSim || c.Runs != 1 || c.Policy != stm.PolicyEager {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.InterferencePerMille != DefaultInterferencePerMille {
+		t.Fatalf("interference default = %d", c.InterferencePerMille)
+	}
+	real := Config{Mode: ModeReal}.withDefaults()
+	if real.Runs != 5 || real.Warmups != 3 {
+		t.Fatalf("real-mode defaults = %+v", real)
+	}
+	ideal := Config{InterferencePerMille: -1}.withDefaults()
+	if ideal.InterferencePerMille != 0 {
+		t.Fatalf("negative interference should mean ideal cores, got %d", ideal.InterferencePerMille)
+	}
+}
+
+func TestTimeUnit(t *testing.T) {
+	if TimeUnit(ModeSim) != "gas-time" || TimeUnit(ModeReal) != "ns" {
+		t.Fatal("time units wrong")
+	}
+	if ModeSim.String() != "sim" || ModeReal.String() != "real" || Mode(9).String() == "" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable1 renders Table 1 in the paper's layout:
+//
+//	            SimpleAuction    Ballot    EtherDoc    Mixed
+//	            Conflict BlockSize ...
+//	Miner       ...
+//	Validator   ...
+//
+// (Our row order follows workload.Kinds(): Ballot, SimpleAuction,
+// EtherDoc, Mixed; the header names make the mapping unambiguous.)
+func WriteTable1(w io.Writer, t Table1) {
+	fmt.Fprintf(w, "Table 1: average speedups for each benchmark\n")
+	fmt.Fprintf(w, "%-11s", "")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, " | %-21s", row.Kind)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-11s", "")
+	for range t.Rows {
+		fmt.Fprintf(w, " | %-10s %-10s", "Conflict", "BlockSize")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 12+len(t.Rows)*24))
+	fmt.Fprintf(w, "%-11s", "Miner")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, " | %-10s %-10s", speedupStr(row.MinerConflictAvg), speedupStr(row.MinerBlockSizeAvg))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-11s", "Validator")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, " | %-10s %-10s", speedupStr(row.ValidatorConflictAvg), speedupStr(row.ValidatorBlockSizeAvg))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "\nOverall averages: miner %s, validator %s (paper: 1.33x / 1.69x)\n",
+		speedupStr(t.OverallMiner), speedupStr(t.OverallValidator))
+}
+
+func speedupStr(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// WriteFigure1 renders one benchmark's Figure 1 row as aligned columns
+// (the paper plots these as two charts per benchmark).
+func WriteFigure1(w io.Writer, f Figure1) {
+	fmt.Fprintf(w, "Figure 1 [%s]: speedup over block size (%d%% conflict)\n", f.Kind, SweepConflictFixed)
+	writeSeries(w, f.BlockSize)
+	fmt.Fprintf(w, "Figure 1 [%s]: speedup over conflict%% (%d transactions)\n", f.Kind, SweepTransactionsFixed)
+	writeSeries(w, f.Conflict)
+}
+
+func writeSeries(w io.Writer, s Series) {
+	fmt.Fprintf(w, "  %-13s %-10s %-12s %-8s %-7s %-9s\n",
+		s.XLabel, "miner", "validator", "retries", "edges", "critpath")
+	for i, x := range s.Xs {
+		p := s.Points[i]
+		fmt.Fprintf(w, "  %-13d %-10s %-12s %-8d %-7d %-9d\n",
+			x, speedupStr(p.MinerSpeedup), speedupStr(p.ValidatorSpeedup),
+			p.Retries, p.Edges, p.CriticalPath)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteAppendixB renders the running-time charts of Appendix B: mean and
+// standard deviation per variant, in the mode's time unit.
+func WriteAppendixB(w io.Writer, f Figure1, unit string) {
+	fmt.Fprintf(w, "Appendix B [%s]: running times over block size (%d%% conflict), unit=%s\n",
+		f.Kind, SweepConflictFixed, unit)
+	writeTimes(w, f.BlockSize)
+	fmt.Fprintf(w, "Appendix B [%s]: running times over conflict%% (%d transactions), unit=%s\n",
+		f.Kind, SweepTransactionsFixed, unit)
+	writeTimes(w, f.Conflict)
+}
+
+func writeTimes(w io.Writer, s Series) {
+	fmt.Fprintf(w, "  %-13s %-22s %-22s %-22s\n", s.XLabel, "serial", "miner", "validator")
+	for i, x := range s.Xs {
+		p := s.Points[i]
+		fmt.Fprintf(w, "  %-13d %-22s %-22s %-22s\n", x,
+			p.SerialTime.Summary(0), p.MinerTime.Summary(0), p.ValidatorTime.Summary(0))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits every data point of the given figures as CSV, one row per
+// (benchmark, sweep, x): machine-readable companion to the ASCII reports.
+func WriteCSV(w io.Writer, figs []Figure1) {
+	fmt.Fprintln(w, "benchmark,sweep,x,serial_mean,serial_stddev,miner_mean,miner_stddev,validator_mean,validator_stddev,miner_speedup,validator_speedup,retries,edges,critical_path")
+	for _, f := range figs {
+		for _, pair := range []struct {
+			name string
+			s    Series
+		}{{"blocksize", f.BlockSize}, {"conflict", f.Conflict}} {
+			for i, x := range pair.s.Xs {
+				p := pair.s.Points[i]
+				fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.4f,%.4f,%d,%d,%d\n",
+					f.Kind, pair.name, x,
+					p.SerialTime.Mean(), p.SerialTime.StdDev(),
+					p.MinerTime.Mean(), p.MinerTime.StdDev(),
+					p.ValidatorTime.Mean(), p.ValidatorTime.StdDev(),
+					p.MinerSpeedup, p.ValidatorSpeedup,
+					p.Retries, p.Edges, p.CriticalPath)
+			}
+		}
+	}
+}
+
+// TimeUnit names the duration unit of a mode.
+func TimeUnit(m Mode) string {
+	if m == ModeReal {
+		return "ns"
+	}
+	return "gas-time"
+}

@@ -1,0 +1,224 @@
+// Package chain implements the blockchain substrate: hash-linked blocks
+// carrying transactions, receipts, a state commitment — and, following the
+// paper's proposal, the scheduling metadata (serial order S, happens-before
+// edges H, and per-transaction lock profiles) that lets validators replay
+// the miner's parallel schedule deterministically (§4: "A miner includes
+// these profiles in the blockchain along with usual information").
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/crypto"
+	"contractstm/internal/sched"
+	"contractstm/internal/stm"
+	"contractstm/internal/types"
+)
+
+// Errors reported by chain operations.
+var (
+	// ErrBadParent reports a block whose parent hash does not match the
+	// chain tip.
+	ErrBadParent = errors.New("chain: parent hash mismatch")
+	// ErrBadNumber reports a block with a non-consecutive height.
+	ErrBadNumber = errors.New("chain: block number mismatch")
+	// ErrBadCommitment reports header commitments that do not match the
+	// block body (tx root, receipt root or schedule hash).
+	ErrBadCommitment = errors.New("chain: header commitment mismatch")
+)
+
+// Header is a block's consensus-critical summary.
+type Header struct {
+	// Number is the block height (genesis is 0).
+	Number uint64 `json:"number"`
+	// ParentHash links to the previous block.
+	ParentHash types.Hash `json:"parentHash"`
+	// TxRoot commits to the transaction list.
+	TxRoot types.Hash `json:"txRoot"`
+	// ReceiptRoot commits to the execution receipts.
+	ReceiptRoot types.Hash `json:"receiptRoot"`
+	// StateRoot commits to the post-state of executing the block.
+	StateRoot types.Hash `json:"stateRoot"`
+	// ScheduleHash commits to the published fork-join schedule (S, H,
+	// profiles). This is the paper's extension to the block format.
+	ScheduleHash types.Hash `json:"scheduleHash"`
+}
+
+// Hash returns the block hash: the digest of the canonical header encoding.
+func (h Header) Hash() types.Hash {
+	return types.HashConcat(
+		types.Uint64Bytes(h.Number),
+		h.ParentHash[:],
+		h.TxRoot[:],
+		h.ReceiptRoot[:],
+		h.StateRoot[:],
+		h.ScheduleHash[:],
+	)
+}
+
+// Block is a full block: header, body, and the paper's schedule metadata.
+type Block struct {
+	Header Header `json:"header"`
+	// Calls is the transaction list in original (submission) order; TxID i
+	// refers to Calls[i].
+	Calls []contract.Call `json:"calls"`
+	// Receipts is the per-transaction execution digest, indexed by TxID.
+	Receipts []contract.Receipt `json:"receipts"`
+	// Schedule is the serial order S and happens-before edges H.
+	Schedule sched.Schedule `json:"schedule"`
+	// Profiles is the per-transaction lock profile registered at commit,
+	// indexed by TxID.
+	Profiles []stm.Profile `json:"profiles"`
+}
+
+// TxRootOf commits to a transaction list.
+func TxRootOf(calls []contract.Call) types.Hash {
+	leaves := make([]types.Hash, len(calls))
+	for i, c := range calls {
+		leaves[i] = types.HashBytes(c.EncodeForHash())
+	}
+	return crypto.MerkleRoot(leaves)
+}
+
+// ReceiptRootOf commits to a receipt list.
+func ReceiptRootOf(receipts []contract.Receipt) types.Hash {
+	leaves := make([]types.Hash, len(receipts))
+	for i, r := range receipts {
+		leaves[i] = types.HashBytes(r.EncodeForHash())
+	}
+	return crypto.MerkleRoot(leaves)
+}
+
+// ScheduleHashOf commits to the published schedule: S, H and the profiles,
+// all canonically encoded.
+func ScheduleHashOf(s sched.Schedule, profiles []stm.Profile) types.Hash {
+	var buf []byte
+	buf = append(buf, types.Uint32Bytes(uint32(len(s.Order)))...)
+	for _, tx := range s.Order {
+		buf = append(buf, types.Uint32Bytes(uint32(tx))...)
+	}
+	buf = append(buf, types.Uint32Bytes(uint32(len(s.Edges)))...)
+	for _, e := range s.Edges {
+		buf = append(buf, types.Uint32Bytes(uint32(e.From))...)
+		buf = append(buf, types.Uint32Bytes(uint32(e.To))...)
+	}
+	buf = append(buf, types.Uint32Bytes(uint32(len(profiles)))...)
+	for _, p := range profiles {
+		buf = append(buf, types.Uint32Bytes(uint32(p.Tx))...)
+		buf = append(buf, types.Uint32Bytes(uint32(len(p.Entries)))...)
+		for _, e := range p.Entries {
+			buf = append(buf, types.Uint32Bytes(uint32(len(e.Lock.Scope)))...)
+			buf = append(buf, e.Lock.Scope...)
+			buf = append(buf, types.Uint32Bytes(uint32(len(e.Lock.Key)))...)
+			buf = append(buf, e.Lock.Key...)
+			buf = append(buf, byte(e.Mode))
+			buf = append(buf, types.Uint64Bytes(e.Counter)...)
+		}
+	}
+	return types.HashBytes(buf)
+}
+
+// Seal fills in the header commitments from the block body and returns the
+// completed block. parent is the previous block's header.
+func Seal(parent Header, calls []contract.Call, receipts []contract.Receipt,
+	s sched.Schedule, profiles []stm.Profile, stateRoot types.Hash) Block {
+	b := Block{
+		Calls:    calls,
+		Receipts: receipts,
+		Schedule: s,
+		Profiles: profiles,
+	}
+	b.Header = Header{
+		Number:       parent.Number + 1,
+		ParentHash:   parent.Hash(),
+		TxRoot:       TxRootOf(calls),
+		ReceiptRoot:  ReceiptRootOf(receipts),
+		StateRoot:    stateRoot,
+		ScheduleHash: ScheduleHashOf(s, profiles),
+	}
+	return b
+}
+
+// VerifyCommitments checks that a block's header commitments match its
+// body. It does not re-execute anything; that is the validator's job.
+func VerifyCommitments(b Block) error {
+	if got := TxRootOf(b.Calls); got != b.Header.TxRoot {
+		return fmt.Errorf("%w: tx root %s != %s", ErrBadCommitment, got.Short(), b.Header.TxRoot.Short())
+	}
+	if got := ReceiptRootOf(b.Receipts); got != b.Header.ReceiptRoot {
+		return fmt.Errorf("%w: receipt root %s != %s", ErrBadCommitment, got.Short(), b.Header.ReceiptRoot.Short())
+	}
+	if got := ScheduleHashOf(b.Schedule, b.Profiles); got != b.Header.ScheduleHash {
+		return fmt.Errorf("%w: schedule hash %s != %s", ErrBadCommitment, got.Short(), b.Header.ScheduleHash.Short())
+	}
+	if len(b.Receipts) != len(b.Calls) {
+		return fmt.Errorf("%w: %d receipts for %d calls", ErrBadCommitment, len(b.Receipts), len(b.Calls))
+	}
+	if len(b.Profiles) != len(b.Calls) {
+		return fmt.Errorf("%w: %d profiles for %d calls", ErrBadCommitment, len(b.Profiles), len(b.Calls))
+	}
+	return nil
+}
+
+// Chain is an append-only hash-linked sequence of blocks.
+type Chain struct {
+	mu     sync.Mutex
+	blocks []Block
+}
+
+// GenesisHeader is the fixed header blocks build on; Number 0 with a
+// distinguished state root supplied by the caller.
+func GenesisHeader(stateRoot types.Hash) Header {
+	return Header{Number: 0, StateRoot: stateRoot}
+}
+
+// New creates a chain whose genesis commits to the given initial state.
+func New(stateRoot types.Hash) *Chain {
+	genesis := Block{Header: GenesisHeader(stateRoot)}
+	return &Chain{blocks: []Block{genesis}}
+}
+
+// Head returns the latest block.
+func (c *Chain) Head() Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Length returns the number of blocks including genesis.
+func (c *Chain) Length() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.blocks)
+}
+
+// BlockAt returns the block at the given height.
+func (c *Chain) BlockAt(n uint64) (Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n >= uint64(len(c.blocks)) {
+		return Block{}, false
+	}
+	return c.blocks[n], true
+}
+
+// Append verifies linkage and commitments, then appends the block.
+func (c *Chain) Append(b Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.blocks[len(c.blocks)-1]
+	if b.Header.Number != head.Header.Number+1 {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, b.Header.Number, head.Header.Number+1)
+	}
+	if b.Header.ParentHash != head.Header.Hash() {
+		return fmt.Errorf("%w: got %s, want %s", ErrBadParent, b.Header.ParentHash.Short(), head.Header.Hash().Short())
+	}
+	if err := VerifyCommitments(b); err != nil {
+		return err
+	}
+	c.blocks = append(c.blocks, b)
+	return nil
+}

@@ -1,0 +1,149 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"contractstm/internal/types"
+)
+
+// Wire serialization for blocks: gob-based, suitable for persistence and
+// for shipping blocks between nodes. Contract call arguments are `any`
+// values; the concrete argument types contracts accept are registered
+// here so gob can round-trip them.
+//
+// Integrity is independent of encoding: after decoding, callers verify
+// header commitments (VerifyCommitments) and re-validate execution, so a
+// corrupted or malicious stream can at worst produce a block that is then
+// rejected.
+
+// wireVersion guards against decoding blocks from incompatible builds.
+const wireVersion uint32 = 1
+
+// wireBlock is the on-the-wire envelope.
+type wireBlock struct {
+	Version uint32
+	Block   Block
+}
+
+var registerOnce sync.Once
+
+func registerWireTypes() {
+	registerOnce.Do(func() {
+		gob.Register(uint64(0))
+		gob.Register(int(0))
+		gob.Register(false)
+		gob.Register("")
+		gob.Register(types.Address{})
+		gob.Register(types.Hash{})
+		gob.Register(types.Amount(0))
+	})
+}
+
+// EncodeBlock writes b to w in wire format.
+func EncodeBlock(w io.Writer, b Block) error {
+	registerWireTypes()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(wireBlock{Version: wireVersion, Block: b}); err != nil {
+		return fmt.Errorf("chain: encode block %d: %w", b.Header.Number, err)
+	}
+	return nil
+}
+
+// DecodeBlock reads one block from r and verifies its header commitments
+// against the decoded body; it does NOT re-execute (that is the
+// validator's job).
+func DecodeBlock(r io.Reader) (Block, error) {
+	registerWireTypes()
+	dec := gob.NewDecoder(r)
+	var wb wireBlock
+	if err := dec.Decode(&wb); err != nil {
+		return Block{}, fmt.Errorf("chain: decode block: %w", err)
+	}
+	if wb.Version != wireVersion {
+		return Block{}, fmt.Errorf("chain: wire version %d, want %d", wb.Version, wireVersion)
+	}
+	if err := VerifyCommitments(wb.Block); err != nil {
+		return Block{}, fmt.Errorf("chain: decoded block fails commitments: %w", err)
+	}
+	return wb.Block, nil
+}
+
+// MarshalBlock renders b as bytes (EncodeBlock into a buffer).
+func MarshalBlock(b Block) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeBlock(&buf, b); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBlock parses bytes produced by MarshalBlock.
+func UnmarshalBlock(data []byte) (Block, error) {
+	return DecodeBlock(bytes.NewReader(data))
+}
+
+// EncodeChain writes every block of c (including genesis) to w.
+func (c *Chain) EncodeChain(w io.Writer) error {
+	c.mu.Lock()
+	blocks := make([]Block, len(c.blocks))
+	copy(blocks, c.blocks)
+	c.mu.Unlock()
+
+	registerWireTypes()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(wireVersion); err != nil {
+		return fmt.Errorf("chain: encode version: %w", err)
+	}
+	if err := enc.Encode(len(blocks)); err != nil {
+		return fmt.Errorf("chain: encode length: %w", err)
+	}
+	for _, b := range blocks {
+		if err := enc.Encode(b); err != nil {
+			return fmt.Errorf("chain: encode block %d: %w", b.Header.Number, err)
+		}
+	}
+	return nil
+}
+
+// DecodeChain reconstructs a chain from w's stream, re-verifying linkage
+// and commitments block by block.
+func DecodeChain(r io.Reader) (*Chain, error) {
+	registerWireTypes()
+	dec := gob.NewDecoder(r)
+	var version uint32
+	if err := dec.Decode(&version); err != nil {
+		return nil, fmt.Errorf("chain: decode version: %w", err)
+	}
+	if version != wireVersion {
+		return nil, fmt.Errorf("chain: wire version %d, want %d", version, wireVersion)
+	}
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("chain: decode length: %w", err)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("chain: stream has %d blocks, need at least genesis", n)
+	}
+	var genesis Block
+	if err := dec.Decode(&genesis); err != nil {
+		return nil, fmt.Errorf("chain: decode genesis: %w", err)
+	}
+	if genesis.Header.Number != 0 {
+		return nil, fmt.Errorf("chain: first block has height %d, want 0", genesis.Header.Number)
+	}
+	c := New(genesis.Header.StateRoot)
+	for i := 1; i < n; i++ {
+		var b Block
+		if err := dec.Decode(&b); err != nil {
+			return nil, fmt.Errorf("chain: decode block %d: %w", i, err)
+		}
+		if err := c.Append(b); err != nil {
+			return nil, fmt.Errorf("chain: replaying block %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,203 @@
+package contracts
+
+import (
+	"fmt"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/storage"
+	"contractstm/internal/types"
+)
+
+// SimpleAuction is the open-auction contract from the Solidity
+// documentation, the paper's second benchmark. The owner (beneficiary)
+// initiates the auction; participants bid; outbid participants withdraw
+// their returns via the withdraw pattern.
+type SimpleAuction struct {
+	addr        types.Address
+	beneficiary *storage.Cell
+	// highestBidder and highestBid are single cells: every bid reads and
+	// writes both, so contending bids serialize on them.
+	highestBidder *storage.Cell
+	highestBid    *storage.Cell
+	// pendingReturns maps outbid bidders to withdrawable amounts; distinct
+	// bidders use distinct keys, so withdrawals are parallel-friendly.
+	pendingReturns *storage.Map
+	ended          *storage.Cell
+}
+
+var _ contract.Contract = (*SimpleAuction)(nil)
+
+// NewSimpleAuction deploys an auction paying out to beneficiary.
+func NewSimpleAuction(w *contract.World, addr, beneficiary types.Address) (*SimpleAuction, error) {
+	store := w.Store()
+	prefix := "auction:" + addr.Short()
+	mk := func(name string, init any) (*storage.Cell, error) {
+		return storage.NewCell(store, prefix+"/"+name, init)
+	}
+	benef, err := mk("beneficiary", beneficiary)
+	if err != nil {
+		return nil, err
+	}
+	bidder, err := mk("highestBidder", types.ZeroAddress)
+	if err != nil {
+		return nil, err
+	}
+	bid, err := mk("highestBid", uint64(0))
+	if err != nil {
+		return nil, err
+	}
+	pending, err := storage.NewMap(store, prefix+"/pendingReturns")
+	if err != nil {
+		return nil, err
+	}
+	ended, err := mk("ended", false)
+	if err != nil {
+		return nil, err
+	}
+	a := &SimpleAuction{
+		addr:           addr,
+		beneficiary:    benef,
+		highestBidder:  bidder,
+		highestBid:     bid,
+		pendingReturns: pending,
+		ended:          ended,
+	}
+	if err := w.Deploy(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ContractAddress implements contract.Contract.
+func (a *SimpleAuction) ContractAddress() types.Address { return a.addr }
+
+// Invoke implements contract.Contract.
+func (a *SimpleAuction) Invoke(env *contract.Env, fn string, args []any) any {
+	switch fn {
+	case "bid":
+		a.bid(env, uint64(mustAmount(env, args, 0)))
+		return nil
+	case "bidPlusOne":
+		return a.bidPlusOne(env)
+	case "withdraw":
+		return a.withdraw(env)
+	case "auctionEnd":
+		a.auctionEnd(env)
+		return nil
+	case "highest":
+		n, err := a.highestBid.ReadUint(env.Ex())
+		env.Do(err)
+		return n
+	default:
+		env.Throw("auction: unknown function %q", fn)
+		return nil
+	}
+}
+
+// bid places a bid of `amount`. If it does not beat the highest bid, it
+// throws; otherwise the previous highest bidder's stake becomes
+// withdrawable.
+func (a *SimpleAuction) bid(env *contract.Env, amount uint64) {
+	env.UseGas(70)
+	a.requireOpen(env)
+	highest, err := a.highestBid.ReadUint(env.Ex())
+	env.Do(err)
+	if amount <= highest {
+		env.Throw("bid %d does not beat highest bid %d", amount, highest)
+	}
+	prevBidder, err := a.highestBidder.Read(env.Ex())
+	env.Do(err)
+	if prev := prevBidder.(types.Address); !prev.IsZero() {
+		// Credit the outbid bidder: a commutative increment.
+		env.Do(a.pendingReturns.AddUint(env.Ex(), storage.KeyAddr(prev), highest))
+	}
+	env.Do(a.highestBidder.Write(env.Ex(), env.Msg().Sender))
+	env.Do(a.highestBid.Write(env.Ex(), amount))
+}
+
+// bidPlusOne reads the current highest bid and bids exactly one more: the
+// paper's conflict workload, in which every contending transaction touches
+// the same two cells.
+func (a *SimpleAuction) bidPlusOne(env *contract.Env) any {
+	env.UseGas(30)
+	highest, err := a.highestBid.ReadUint(env.Ex())
+	env.Do(err)
+	a.bid(env, highest+1)
+	return highest + 1
+}
+
+// withdraw pays out the sender's pending return, if any, returning the
+// amount withdrawn. Distinct senders touch distinct map keys, so a block
+// of withdrawals is highly parallel — the paper's base workload for this
+// contract.
+//
+// Translation note: like the paper's prototype (which emulates msg/send
+// rather than modelling a global ether ledger, §6), the payout is the
+// zeroing of the pending return; routing it through a world-level balance
+// ledger would serialize every withdrawal on the auction's own account —
+// a bottleneck the paper's benchmark does not have.
+func (a *SimpleAuction) withdraw(env *contract.Env) any {
+	env.UseGas(60)
+	sender := env.Msg().Sender
+	amount, err := a.pendingReturns.GetUint(env.Ex(), storage.KeyAddr(sender))
+	env.Do(err)
+	if amount == 0 {
+		return uint64(0)
+	}
+	env.Do(a.pendingReturns.Put(env.Ex(), storage.KeyAddr(sender), uint64(0)))
+	env.UseGas(30) // emulated send, per the paper's prototype
+	return amount
+}
+
+// auctionEnd closes the auction and pays the beneficiary.
+func (a *SimpleAuction) auctionEnd(env *contract.Env) {
+	env.UseGas(50)
+	a.requireOpen(env)
+	benef, err := a.beneficiary.Read(env.Ex())
+	env.Do(err)
+	if env.Msg().Sender != benef.(types.Address) {
+		env.Throw("auctionEnd: only the beneficiary may end the auction")
+	}
+	env.Do(a.ended.Write(env.Ex(), true))
+	if _, err := a.highestBid.ReadUint(env.Ex()); err != nil {
+		env.Do(err)
+	}
+	env.UseGas(30) // emulated send of the winning bid, per the paper
+}
+
+func (a *SimpleAuction) requireOpen(env *contract.Env) {
+	ended, err := a.ended.Read(env.Ex())
+	env.Do(err)
+	if ended.(bool) {
+		env.Throw("auction already ended")
+	}
+}
+
+// SeedBid installs an initial bid at genesis (benchmark fixture: "the
+// contract state is initialized by several bidders entering a bid",
+// §7.1). The bidder's stake is registered in pendingReturns when outbid by
+// the seeding sequence; callers seed in increasing amounts.
+func (a *SimpleAuction) SeedBid(w *contract.World, bidder types.Address, amount uint64) error {
+	return initRaw(w, func(ex *setupExec) error {
+		highest, err := a.highestBid.ReadUint(ex)
+		if err != nil {
+			return err
+		}
+		if amount <= highest {
+			return fmt.Errorf("seed bid %d does not beat %d", amount, highest)
+		}
+		prev, err := a.highestBidder.Read(ex)
+		if err != nil {
+			return err
+		}
+		if p := prev.(types.Address); !p.IsZero() {
+			if err := a.pendingReturns.AddUint(ex, storage.KeyAddr(p), highest); err != nil {
+				return err
+			}
+		}
+		if err := a.highestBidder.Write(ex, bidder); err != nil {
+			return err
+		}
+		return a.highestBid.Write(ex, amount)
+	})
+}

@@ -1,0 +1,155 @@
+package contracts
+
+import (
+	"contractstm/internal/contract"
+	"contractstm/internal/storage"
+	"contractstm/internal/types"
+)
+
+// Purchase states, mirroring the Solidity example's enum.
+const (
+	purchaseCreated  uint64 = 0
+	purchaseLocked   uint64 = 1
+	purchaseInactive uint64 = 2
+)
+
+// Purchase is the "Safe Remote Purchase" contract from the Solidity
+// documentation (the same corpus the paper's benchmarks are drawn from,
+// §7.1). A seller escrows 2×value; the buyer matches it and confirms
+// receipt; the deposits unwind so both parties have an incentive to finish.
+//
+// Unlike SimpleAuction (whose sends the paper's prototype emulates),
+// Purchase uses the world's real balance ledger — its transfers are
+// checked debits and commutative credits on world/balances — so it also
+// serves as an end-to-end test of currency movement under speculation.
+type Purchase struct {
+	addr   types.Address
+	seller *storage.Cell
+	buyer  *storage.Cell
+	value  *storage.Cell
+	state  *storage.Cell
+}
+
+var _ contract.Contract = (*Purchase)(nil)
+
+// NewPurchase deploys a purchase escrow for an item of the given value.
+// The seller's 2×value deposit must already sit in the contract's account
+// (the Solidity constructor is payable); use World.Mint or a funding
+// transfer at genesis.
+func NewPurchase(w *contract.World, addr, seller types.Address, value uint64) (*Purchase, error) {
+	store := w.Store()
+	prefix := "purchase:" + addr.Short()
+	sellerCell, err := storage.NewCell(store, prefix+"/seller", seller)
+	if err != nil {
+		return nil, err
+	}
+	buyerCell, err := storage.NewCell(store, prefix+"/buyer", types.ZeroAddress)
+	if err != nil {
+		return nil, err
+	}
+	valueCell, err := storage.NewCell(store, prefix+"/value", value)
+	if err != nil {
+		return nil, err
+	}
+	stateCell, err := storage.NewCell(store, prefix+"/state", purchaseCreated)
+	if err != nil {
+		return nil, err
+	}
+	p := &Purchase{addr: addr, seller: sellerCell, buyer: buyerCell, value: valueCell, state: stateCell}
+	if err := w.Deploy(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ContractAddress implements contract.Contract.
+func (p *Purchase) ContractAddress() types.Address { return p.addr }
+
+// Invoke implements contract.Contract.
+func (p *Purchase) Invoke(env *contract.Env, fn string, args []any) any {
+	switch fn {
+	case "abort":
+		p.abort(env)
+		return nil
+	case "confirmPurchase":
+		p.confirmPurchase(env)
+		return nil
+	case "confirmReceived":
+		p.confirmReceived(env)
+		return nil
+	case "state":
+		s, err := p.state.ReadUint(env.Ex())
+		env.Do(err)
+		return s
+	default:
+		env.Throw("purchase: unknown function %q", fn)
+		return nil
+	}
+}
+
+// abort lets the seller reclaim the escrow before a buyer commits.
+func (p *Purchase) abort(env *contract.Env) {
+	env.UseGas(40)
+	p.requireState(env, purchaseCreated)
+	seller := p.sellerAddr(env)
+	if env.Msg().Sender != seller {
+		env.Throw("abort: only the seller may abort")
+	}
+	env.Do(p.state.Write(env.Ex(), purchaseInactive))
+	v := p.itemValue(env)
+	env.Transfer(seller, types.Amount(2*v)) // refund the seller's escrow
+}
+
+// confirmPurchase locks the sale: the buyer must attach exactly 2×value
+// (the Solidity `require(msg.value == 2 * value)`).
+func (p *Purchase) confirmPurchase(env *contract.Env) {
+	env.UseGas(60)
+	p.requireState(env, purchaseCreated)
+	v := p.itemValue(env)
+	if uint64(env.Msg().Value) != 2*v {
+		env.Throw("confirmPurchase: must attach exactly 2x value (%d), got %d", 2*v, env.Msg().Value)
+	}
+	env.Do(p.buyer.Write(env.Ex(), env.Msg().Sender))
+	env.Do(p.state.Write(env.Ex(), purchaseLocked))
+}
+
+// confirmReceived completes the sale: the buyer gets their deposit (value)
+// back and the seller receives 3×value (deposit + price).
+func (p *Purchase) confirmReceived(env *contract.Env) {
+	env.UseGas(60)
+	p.requireState(env, purchaseLocked)
+	buyer := p.buyerAddr(env)
+	if env.Msg().Sender != buyer {
+		env.Throw("confirmReceived: only the buyer may confirm")
+	}
+	env.Do(p.state.Write(env.Ex(), purchaseInactive))
+	v := p.itemValue(env)
+	env.Transfer(buyer, types.Amount(v))
+	env.Transfer(p.sellerAddr(env), types.Amount(3*v))
+}
+
+func (p *Purchase) requireState(env *contract.Env, want uint64) {
+	s, err := p.state.ReadUint(env.Ex())
+	env.Do(err)
+	if s != want {
+		env.Throw("purchase: invalid state %d, want %d", s, want)
+	}
+}
+
+func (p *Purchase) sellerAddr(env *contract.Env) types.Address {
+	v, err := p.seller.Read(env.Ex())
+	env.Do(err)
+	return v.(types.Address)
+}
+
+func (p *Purchase) buyerAddr(env *contract.Env) types.Address {
+	v, err := p.buyer.Read(env.Ex())
+	env.Do(err)
+	return v.(types.Address)
+}
+
+func (p *Purchase) itemValue(env *contract.Env) uint64 {
+	n, err := p.value.ReadUint(env.Ex())
+	env.Do(err)
+	return n
+}

@@ -1,0 +1,98 @@
+package contracts
+
+import (
+	"testing"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/types"
+)
+
+var (
+	purchaseAddr = types.AddressFromUint64(0xF00)
+	seller       = types.AddressFromUint64(0x5E11)
+	buyer        = types.AddressFromUint64(0xB0B)
+)
+
+// newTestPurchase deploys the escrow with the seller's 2x deposit already
+// in the contract account and the buyer funded.
+func newTestPurchase(t *testing.T, w *contract.World, value uint64) *Purchase {
+	t.Helper()
+	p, err := NewPurchase(w, purchaseAddr, seller, value)
+	if err != nil {
+		t.Fatalf("NewPurchase: %v", err)
+	}
+	if err := w.Mint(Setup(w), purchaseAddr, types.Amount(2*value)); err != nil {
+		t.Fatalf("escrow mint: %v", err)
+	}
+	if err := w.Mint(Setup(w), buyer, types.Amount(10*value)); err != nil {
+		t.Fatalf("buyer mint: %v", err)
+	}
+	return p
+}
+
+func TestPurchaseHappyPath(t *testing.T) {
+	w := newWorld(t)
+	newTestPurchase(t, w, 100)
+
+	if got := mustCommit(t, run(t, w, seller, purchaseAddr, "state")); got.(uint64) != 0 {
+		t.Fatalf("initial state = %v", got)
+	}
+	// Buyer locks the sale with exactly 2x value attached.
+	out := runValue(t, w, buyer, purchaseAddr, "confirmPurchase", 200)
+	mustCommit(t, out)
+	if got := mustCommit(t, run(t, w, seller, purchaseAddr, "state")); got.(uint64) != 1 {
+		t.Fatalf("state after purchase = %v", got)
+	}
+	// Buyer confirms receipt: buyer gets 100 back, seller gets 300.
+	mustCommit(t, run(t, w, buyer, purchaseAddr, "confirmReceived"))
+	if got := readBalance(t, w, seller); got != 300 {
+		t.Fatalf("seller balance = %d, want 300", got)
+	}
+	// Buyer: 1000 funded - 200 attached + 100 refund = 900.
+	if got := readBalance(t, w, buyer); got != 900 {
+		t.Fatalf("buyer balance = %d, want 900", got)
+	}
+	// Contract drained.
+	if got := readBalance(t, w, purchaseAddr); got != 0 {
+		t.Fatalf("contract balance = %d, want 0", got)
+	}
+}
+
+func TestPurchaseWrongDeposit(t *testing.T) {
+	w := newWorld(t)
+	newTestPurchase(t, w, 100)
+	out := runValue(t, w, buyer, purchaseAddr, "confirmPurchase", 150)
+	mustRevert(t, out, "exactly 2x value")
+	// The attached 150 must have been refunded by the revert.
+	if got := readBalance(t, w, buyer); got != 1000 {
+		t.Fatalf("buyer balance = %d, want 1000 after revert", got)
+	}
+}
+
+func TestPurchaseAbort(t *testing.T) {
+	w := newWorld(t)
+	newTestPurchase(t, w, 100)
+	mustRevert(t, run(t, w, buyer, purchaseAddr, "abort"), "only the seller")
+	mustCommit(t, run(t, w, seller, purchaseAddr, "abort"))
+	if got := readBalance(t, w, seller); got != 200 {
+		t.Fatalf("seller refund = %d, want 200", got)
+	}
+	// After abort, purchases revert.
+	mustRevert(t, runValue(t, w, buyer, purchaseAddr, "confirmPurchase", 200), "invalid state")
+}
+
+func TestPurchaseConfirmByStrangerRejected(t *testing.T) {
+	w := newWorld(t)
+	newTestPurchase(t, w, 100)
+	mustCommit(t, runValue(t, w, buyer, purchaseAddr, "confirmPurchase", 200))
+	stranger := types.AddressFromUint64(0xBAD)
+	mustRevert(t, run(t, w, stranger, purchaseAddr, "confirmReceived"), "only the buyer")
+}
+
+func TestPurchaseDoubleConfirmRejected(t *testing.T) {
+	w := newWorld(t)
+	newTestPurchase(t, w, 100)
+	mustCommit(t, runValue(t, w, buyer, purchaseAddr, "confirmPurchase", 200))
+	mustCommit(t, run(t, w, buyer, purchaseAddr, "confirmReceived"))
+	mustRevert(t, run(t, w, buyer, purchaseAddr, "confirmReceived"), "invalid state")
+}

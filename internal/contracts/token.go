@@ -1,0 +1,121 @@
+package contracts
+
+import (
+	"contractstm/internal/contract"
+	"contractstm/internal/storage"
+	"contractstm/internal/types"
+)
+
+// Token is a minimal fungible-token contract (ERC-20-style transfer and
+// allowance, no events). It is not one of the paper's benchmarks; it
+// exists for the examples and the extension benchmarks, and it is a nice
+// stress of the boosted layer: debits are exclusive (they check balances)
+// while credits commute, so transfers with disjoint payers parallelize.
+type Token struct {
+	addr   types.Address
+	issuer types.Address
+	// balances maps holder → amount.
+	balances *storage.Map
+	// allowances maps owner|spender → amount.
+	allowances *storage.Map
+	// supply is the fixed total supply.
+	supply *storage.Cell
+}
+
+var _ contract.Contract = (*Token)(nil)
+
+// NewToken deploys a token minting the full supply to issuer.
+func NewToken(w *contract.World, addr, issuer types.Address, supply uint64) (*Token, error) {
+	store := w.Store()
+	prefix := "token:" + addr.Short()
+	balances, err := storage.NewMap(store, prefix+"/balances")
+	if err != nil {
+		return nil, err
+	}
+	allowances, err := storage.NewMap(store, prefix+"/allowances")
+	if err != nil {
+		return nil, err
+	}
+	supplyCell, err := storage.NewCell(store, prefix+"/supply", supply)
+	if err != nil {
+		return nil, err
+	}
+	t := &Token{addr: addr, issuer: issuer, balances: balances, allowances: allowances, supply: supplyCell}
+	if err := w.Deploy(t); err != nil {
+		return nil, err
+	}
+	if err := initRaw(w, func(ex *setupExec) error {
+		return balances.Put(ex, storage.KeyAddr(issuer), supply)
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ContractAddress implements contract.Contract.
+func (t *Token) ContractAddress() types.Address { return t.addr }
+
+// Invoke implements contract.Contract.
+func (t *Token) Invoke(env *contract.Env, fn string, args []any) any {
+	switch fn {
+	case "transfer":
+		t.transfer(env, env.Msg().Sender, mustAddr(env, args, 0), mustUint(env, args, 1))
+		return nil
+	case "approve":
+		t.approve(env, mustAddr(env, args, 0), mustUint(env, args, 1))
+		return nil
+	case "transferFrom":
+		t.transferFrom(env, mustAddr(env, args, 0), mustAddr(env, args, 1), mustUint(env, args, 2))
+		return nil
+	case "balanceOf":
+		n, err := t.balances.GetUint(env.Ex(), storage.KeyAddr(mustAddr(env, args, 0)))
+		env.Do(err)
+		return n
+	case "totalSupply":
+		n, err := t.supply.ReadUint(env.Ex())
+		env.Do(err)
+		return n
+	default:
+		env.Throw("token: unknown function %q", fn)
+		return nil
+	}
+}
+
+// SeedBalance moves amount from the issuer's pool to addr at genesis
+// (benchmark fixture). It fails if the remaining issued supply is short.
+func (t *Token) SeedBalance(w *contract.World, addr types.Address, amount uint64) error {
+	return initRaw(w, func(ex *setupExec) error {
+		if err := t.balances.SubUint(ex, storage.KeyAddr(t.issuer), amount); err != nil {
+			return err
+		}
+		return t.balances.AddUint(ex, storage.KeyAddr(addr), amount)
+	})
+}
+
+func (t *Token) transfer(env *contract.Env, from, to types.Address, amount uint64) {
+	env.UseGas(50)
+	if amount == 0 {
+		return
+	}
+	err := t.balances.SubUint(env.Ex(), storage.KeyAddr(from), amount)
+	env.Do(err) // underflow throws via Do
+	env.Do(t.balances.AddUint(env.Ex(), storage.KeyAddr(to), amount))
+}
+
+func (t *Token) approve(env *contract.Env, spender types.Address, amount uint64) {
+	env.UseGas(40)
+	key := storage.KeyAddr(env.Msg().Sender) + "|" + storage.KeyAddr(spender)
+	env.Do(t.allowances.Put(env.Ex(), key, amount))
+}
+
+func (t *Token) transferFrom(env *contract.Env, from, to types.Address, amount uint64) {
+	env.UseGas(60)
+	key := storage.KeyAddr(from) + "|" + storage.KeyAddr(env.Msg().Sender)
+	allowed, err := t.allowances.GetUint(env.Ex(), key)
+	env.Do(err)
+	if allowed < amount {
+		env.Throw("transferFrom: allowance %d < %d", allowed, amount)
+	}
+	env.Do(t.allowances.Put(env.Ex(), key, allowed-amount))
+	t.transfer(env, from, to, amount)
+}

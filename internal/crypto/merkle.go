@@ -1,0 +1,140 @@
+// Package crypto provides the hashing substrate for the blockchain layer:
+// domain-separated digests and a binary Merkle tree used to commit to
+// transaction lists and contract state.
+//
+// The paper's validator rejects a block when "the schedule produces a final
+// state different from the one recorded in the block"; state commitments are
+// what make that check O(1) to express and tamper-evident.
+package crypto
+
+import (
+	"crypto/sha256"
+
+	"contractstm/internal/types"
+)
+
+// Domain-separation tags. Hashing a leaf and an interior node with different
+// prefixes defeats second-preimage attacks that graft subtrees as leaves.
+const (
+	tagLeaf  byte = 0x00
+	tagNode  byte = 0x01
+	tagEmpty byte = 0x02
+)
+
+// emptyRoot is the Merkle root of an empty leaf list, computed lazily.
+func emptyRoot() types.Hash {
+	return sha256.Sum256([]byte{tagEmpty})
+}
+
+// MerkleRoot computes the root of a binary Merkle tree over the given leaves.
+// Odd nodes at each level are promoted unpaired (Bitcoin-style duplication is
+// deliberately avoided: duplication admits known malleability).
+func MerkleRoot(leaves []types.Hash) types.Hash {
+	if len(leaves) == 0 {
+		return emptyRoot()
+	}
+	level := make([]types.Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = hashLeaf(leaf)
+	}
+	for len(level) > 1 {
+		next := make([]types.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func hashLeaf(h types.Hash) types.Hash {
+	buf := make([]byte, 1+types.HashLen)
+	buf[0] = tagLeaf
+	copy(buf[1:], h[:])
+	return sha256.Sum256(buf)
+}
+
+func hashNode(l, r types.Hash) types.Hash {
+	buf := make([]byte, 1+2*types.HashLen)
+	buf[0] = tagNode
+	copy(buf[1:], l[:])
+	copy(buf[1+types.HashLen:], r[:])
+	return sha256.Sum256(buf)
+}
+
+// Proof is a Merkle inclusion proof for a single leaf.
+type Proof struct {
+	// Index is the 0-based position of the proven leaf.
+	Index int
+	// Path lists sibling hashes from the leaf level up to the root.
+	Path []types.Hash
+	// Right[i] reports whether Path[i] is the right sibling at level i.
+	Right []bool
+}
+
+// MerkleProve builds an inclusion proof for leaves[index].
+// It returns false when index is out of range.
+func MerkleProve(leaves []types.Hash, index int) (Proof, bool) {
+	if index < 0 || index >= len(leaves) {
+		return Proof{}, false
+	}
+	proof := Proof{Index: index}
+	level := make([]types.Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = hashLeaf(leaf)
+	}
+	pos := index
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib < len(level) {
+			proof.Path = append(proof.Path, level[sib])
+			proof.Right = append(proof.Right, sib > pos)
+		}
+		next := make([]types.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, true
+}
+
+// MerkleVerify checks that leaf is included under root according to proof.
+func MerkleVerify(root types.Hash, leaf types.Hash, proof Proof) bool {
+	cur := hashLeaf(leaf)
+	for i, sib := range proof.Path {
+		if proof.Right[i] {
+			cur = hashNode(cur, sib)
+		} else {
+			cur = hashNode(sib, cur)
+		}
+	}
+	return cur == root
+}
+
+// StateRoot commits to a set of key/value pairs. Callers pass pre-sorted,
+// canonical entries; each entry is hashed as a leaf of H(key)||H(value).
+type StateEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// StateRootOf computes a deterministic commitment over canonical entries.
+// Entries MUST already be sorted by key; this package does not sort so that
+// the storage layer controls canonical ordering (and its cost) itself.
+func StateRootOf(entries []StateEntry) types.Hash {
+	leaves := make([]types.Hash, len(entries))
+	for i, e := range entries {
+		leaves[i] = types.HashConcat([]byte{tagLeaf}, e.Key, []byte{tagNode}, e.Value)
+	}
+	return MerkleRoot(leaves)
+}

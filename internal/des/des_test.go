@@ -1,0 +1,239 @@
+package des
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleThreadMakespan(t *testing.T) {
+	sim := New()
+	sim.Spawn("t0", func(th *Thread) {
+		th.Advance(10)
+		th.Advance(5)
+	})
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ms != 15 {
+		t.Fatalf("makespan = %d, want 15", ms)
+	}
+}
+
+func TestParallelThreadsOverlap(t *testing.T) {
+	// Two threads each doing 100 units of work should finish at virtual time
+	// 100, not 200 — that is the whole point of simulated parallelism.
+	sim := New()
+	for i := 0; i < 2; i++ {
+		sim.Spawn("w", func(th *Thread) {
+			for j := 0; j < 10; j++ {
+				th.Advance(10)
+			}
+		})
+	}
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ms != 100 {
+		t.Fatalf("makespan = %d, want 100 (parallel overlap)", ms)
+	}
+}
+
+func TestSchedulerOrdersByClockThenID(t *testing.T) {
+	sim := New()
+	var order []int
+	// Thread 0 advances by 30s, thread 1 by 10s; interleaving must follow
+	// virtual time.
+	sim.Spawn("a", func(th *Thread) {
+		th.Advance(30) // at 30
+		order = append(order, 0)
+		th.Advance(30) // at 60
+		order = append(order, 0)
+	})
+	sim.Spawn("b", func(th *Thread) {
+		for i := 0; i < 4; i++ {
+			th.Advance(10)
+			order = append(order, 1)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// b logs at t=10,20,30,40; a logs at t=30,60. At t=30 tie: a has id 0 but
+	// b reached 30 first in schedule order... both runnable at 30; tie broken
+	// by id, so a(0) before b(1).
+	want := []int{1, 1, 0, 1, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	sim := New()
+	var woken bool
+	var consumer, producer *Thread
+	consumer = sim.Spawn("consumer", func(th *Thread) {
+		th.Park()
+		woken = true
+		if th.Now() < 50 {
+			t.Errorf("consumer resumed at %d, want >= 50 (waker's clock)", th.Now())
+		}
+	})
+	producer = sim.Spawn("producer", func(th *Thread) {
+		th.Advance(50)
+		th.Unpark(consumer)
+	})
+	_ = producer
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woken {
+		t.Fatal("consumer never woke")
+	}
+}
+
+func TestUnparkBeforeParkTokenSemantics(t *testing.T) {
+	sim := New()
+	var target *Thread
+	target = sim.Spawn("target", func(th *Thread) {
+		th.Advance(100) // waker's unpark arrives while we are runnable
+		th.Park()       // must not block: token pending
+		th.Advance(1)
+	})
+	sim.Spawn("waker", func(th *Thread) {
+		th.Advance(10)
+		th.Unpark(target)
+	})
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run (token semantics broken?): %v", err)
+	}
+	if ms != 101 {
+		t.Fatalf("makespan = %d, want 101", ms)
+	}
+}
+
+func TestAllParkedIsDeadlock(t *testing.T) {
+	sim := New()
+	sim.Spawn("stuck", func(th *Thread) { th.Park() })
+	_, err := sim.Run()
+	if !errors.Is(err, ErrAllParked) {
+		t.Fatalf("Run = %v, want ErrAllParked", err)
+	}
+}
+
+func TestSpawnFromRunningThread(t *testing.T) {
+	sim := New()
+	var childRan bool
+	sim.Spawn("parent", func(th *Thread) {
+		th.Advance(20)
+		th.Spawn("child", func(c *Thread) {
+			if c.Now() != 20 {
+				t.Errorf("child starts at %d, want parent clock 20", c.Now())
+			}
+			c.Advance(5)
+			childRan = true
+		})
+		th.Advance(1)
+	})
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+	if ms != 25 {
+		t.Fatalf("makespan = %d, want 25", ms)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	sim := New()
+	sim.Spawn("t", func(th *Thread) {})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		sim := New()
+		var log []int
+		for i := 0; i < 4; i++ {
+			id := i
+			sim.Spawn("w", func(th *Thread) {
+				for j := 0; j < 5; j++ {
+					th.Advance(uint64(1 + (id+j)%3))
+					log = append(log, id)
+				}
+			})
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different log lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleavings diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestYieldDoesNotAdvanceClock(t *testing.T) {
+	sim := New()
+	sim.Spawn("y", func(th *Thread) {
+		th.Yield()
+		if th.Now() != 0 {
+			t.Errorf("Yield advanced the clock to %d", th.Now())
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestManyThreadsComplete(t *testing.T) {
+	sim := New()
+	var done atomic.Int64
+	for i := 0; i < 200; i++ {
+		sim.Spawn("w", func(th *Thread) {
+			th.Advance(uint64(th.ID()%7 + 1))
+			done.Add(1)
+		})
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done.Load() != 200 {
+		t.Fatalf("completed = %d, want 200", done.Load())
+	}
+}
+
+func TestUnparkDoneThreadIsNoop(t *testing.T) {
+	sim := New()
+	var first *Thread
+	first = sim.Spawn("first", func(th *Thread) {})
+	sim.Spawn("second", func(th *Thread) {
+		th.Advance(5)
+		th.Unpark(first) // first is long done
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

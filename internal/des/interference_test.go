@@ -1,0 +1,99 @@
+package des
+
+import "testing"
+
+func TestWorkWithoutInterferenceEqualsAdvance(t *testing.T) {
+	sim := New()
+	sim.Spawn("w", func(th *Thread) {
+		th.Work(100)
+	})
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ms != 100 {
+		t.Fatalf("makespan = %d, want 100 (zero interference)", ms)
+	}
+}
+
+func TestWorkScalesWithActiveThreads(t *testing.T) {
+	// Three active threads at 150 per-mille: each unit costs 1.30x.
+	sim := New()
+	sim.SetInterference(150)
+	for i := 0; i < 3; i++ {
+		sim.Spawn("w", func(th *Thread) {
+			th.Work(1000)
+		})
+	}
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ms != 1300 {
+		t.Fatalf("makespan = %d, want 1300 (1000 * 1.30)", ms)
+	}
+}
+
+func TestWorkInterferenceIgnoresParkedThreads(t *testing.T) {
+	// One worker parked: the single active thread pays no penalty.
+	sim := New()
+	sim.SetInterference(500)
+	sim.Spawn("parked", func(th *Thread) {
+		th.Park()
+	})
+	var worker *Thread
+	worker = sim.Spawn("worker", func(th *Thread) {
+		th.Work(100)
+		// Wake the parked thread so the run completes.
+		for _, other := range th.sim.threads {
+			if other != th {
+				th.Unpark(other)
+			}
+		}
+	})
+	_ = worker
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The worker's 100 units pass at factor 1.0 (the parked thread is not
+	// active); makespan is the wake time, i.e. 100.
+	if ms != 100 {
+		t.Fatalf("makespan = %d, want 100 (parked threads must not interfere)", ms)
+	}
+}
+
+func TestSetInterferenceNegativeClamped(t *testing.T) {
+	sim := New()
+	sim.SetInterference(-5)
+	sim.Spawn("w", func(th *Thread) { th.Work(10) })
+	ms, err := sim.Run()
+	if err != nil || ms != 10 {
+		t.Fatalf("ms=%d err=%v", ms, err)
+	}
+}
+
+func TestInterferenceSerialSectionsUnscaled(t *testing.T) {
+	// A chain handoff: A works, wakes B, B works. Never concurrent, so no
+	// scaling despite interference being configured.
+	sim := New()
+	sim.SetInterference(300)
+	var second *Thread
+	second = sim.Spawn("second", func(th *Thread) {
+		th.Park()
+		th.Work(50)
+	})
+	sim.Spawn("first", func(th *Thread) {
+		th.Work(50)
+		th.Unpark(second)
+	})
+	ms, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Hmm: while "first" works, "second" is parked (inactive) => factor 1.
+	// After the wake, "first" is done => "second" alone => factor 1.
+	if ms != 100 {
+		t.Fatalf("makespan = %d, want 100 (strictly serial handoff)", ms)
+	}
+}

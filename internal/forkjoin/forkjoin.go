@@ -1,0 +1,182 @@
+// Package forkjoin implements a work-stealing fork-join executor for task
+// DAGs — the substrate the paper's validators run on ("using a
+// work-stealing scheduler, the validator can exploit whatever degree of
+// parallelism it has available", §4, citing Cilk).
+//
+// Tasks are dependency-counted rather than blocking: a task becomes ready
+// when its last predecessor finishes, so no worker ever blocks holding a
+// task (which would deadlock a bounded pool). Each worker owns a deque;
+// it pushes newly-readied tasks to its own tail and pops from the tail
+// (LIFO, cache-friendly), while idle workers steal from other workers'
+// heads (FIFO, breadth-first) — the classic Cilk discipline.
+//
+// The executor runs on runtime.Thread workers, so the same code serves the
+// deterministic virtual-time simulator and real OS threads.
+package forkjoin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"contractstm/internal/runtime"
+)
+
+// Task is one node of the DAG.
+type Task struct {
+	// Run executes the task's work on the given worker thread.
+	Run func(th runtime.Thread)
+	// Preds lists the task indices that must complete first.
+	Preds []int
+}
+
+// ErrUnreachableTasks reports tasks whose dependencies can never be
+// satisfied (a cycle or dangling predecessor), detected when the pool runs
+// dry with tasks outstanding.
+var ErrUnreachableTasks = errors.New("forkjoin: tasks unreachable (cyclic or dangling dependencies)")
+
+// pool is the shared scheduling state for one Run call.
+type pool struct {
+	mu     sync.Mutex
+	deques [][]int // per-worker deque of ready task ids
+	idle   []runtime.Thread
+	done   int
+	total  int
+	// draining is set when a worker proves the remaining tasks unreachable
+	// (all other workers idle, no ready work); everyone exits.
+	draining bool
+	workers  int
+}
+
+// Run executes the task DAG on `workers` threads of the given runner and
+// returns the makespan in the runner's time unit. Preds entries must be in
+// range; duplicate predecessors are counted once.
+func Run(runner runtime.Runner, workers int, tasks []Task) (uint64, error) {
+	n := len(tasks)
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i, task := range tasks {
+		seen := make(map[int]bool, len(task.Preds))
+		for _, p := range task.Preds {
+			if p < 0 || p >= n || p == i {
+				return 0, fmt.Errorf("forkjoin: task %d has invalid predecessor %d", i, p)
+			}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			succs[p] = append(succs[p], i)
+			indeg[i]++
+		}
+	}
+
+	p := &pool{
+		deques:  make([][]int, workers),
+		total:   n,
+		workers: workers,
+	}
+	// Seed initially-ready tasks round-robin across workers so the start is
+	// balanced and deterministic.
+	next := 0
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			p.deques[next%workers] = append(p.deques[next%workers], i)
+			next++
+		}
+	}
+	if next == 0 && n > 0 {
+		return 0, fmt.Errorf("%w: no source tasks", ErrUnreachableTasks)
+	}
+
+	// remaining dependency counts, decremented under p.mu.
+	remaining := indeg
+
+	makespan, err := runner.Run(workers, func(th runtime.Thread) {
+		self := th.ID()
+		for {
+			id, ok := p.take(self, th)
+			if !ok {
+				return
+			}
+			tasks[id].Run(th)
+			// Mark completion and ready any successors.
+			p.mu.Lock()
+			p.done++
+			var woken []runtime.Thread
+			for _, s := range succs[id] {
+				remaining[s]--
+				if remaining[s] == 0 {
+					p.deques[self] = append(p.deques[self], s)
+					if len(p.idle) > 0 {
+						woken = append(woken, p.idle[len(p.idle)-1])
+						p.idle = p.idle[:len(p.idle)-1]
+					}
+				}
+			}
+			finished := p.done == p.total
+			if finished {
+				woken = append(woken, p.idle...)
+				p.idle = nil
+			}
+			p.mu.Unlock()
+			for _, w := range woken {
+				th.Unpark(w)
+			}
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("forkjoin: %w", err)
+	}
+	if p.done != p.total {
+		return 0, fmt.Errorf("%w: %d of %d tasks ran", ErrUnreachableTasks, p.done, p.total)
+	}
+	return makespan, nil
+}
+
+// take returns the next task for worker self: its own tail, then a steal
+// from the head of another worker's deque, then park until new work or
+// completion. ok=false means all tasks are done (or unreachable) and the
+// worker should exit.
+func (p *pool) take(self int, th runtime.Thread) (int, bool) {
+	for {
+		p.mu.Lock()
+		// Own deque: LIFO.
+		if d := p.deques[self]; len(d) > 0 {
+			id := d[len(d)-1]
+			p.deques[self] = d[:len(d)-1]
+			p.mu.Unlock()
+			return id, true
+		}
+		// Steal: FIFO from the first victim with work, scanning from
+		// self+1 for determinism.
+		for off := 1; off < p.workers; off++ {
+			v := (self + off) % p.workers
+			if d := p.deques[v]; len(d) > 0 {
+				id := d[0]
+				p.deques[v] = d[1:]
+				p.mu.Unlock()
+				return id, true
+			}
+		}
+		if p.draining || p.done == p.total {
+			p.mu.Unlock()
+			return 0, false
+		}
+		// If every other worker is idle too and no work exists, the
+		// remaining tasks are unreachable: drain the pool and let Run
+		// report it.
+		if len(p.idle) == p.workers-1 {
+			p.draining = true
+			idle := p.idle
+			p.idle = nil
+			p.mu.Unlock()
+			for _, w := range idle {
+				th.Unpark(w)
+			}
+			return 0, false
+		}
+		p.idle = append(p.idle, th)
+		p.mu.Unlock()
+		th.Park()
+	}
+}

@@ -1,0 +1,146 @@
+// Package gas implements Ethereum-style gas metering.
+//
+// The paper relies on gas in two ways: it bounds every contract execution
+// ("the Ethereum gas restriction ensures this sequence is finite", §5), and
+// it is the natural unit of computational cost. This reproduction also uses
+// gas as the virtual-time unit of the discrete-event execution model: one gas
+// unit equals one unit of simulated time (see internal/des and DESIGN.md).
+package gas
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Gas is a quantity of computational work.
+type Gas uint64
+
+// ErrOutOfGas is returned (wrapped) when a meter is exhausted. Contract
+// execution converts it into an abort, exactly like Ethereum's out-of-gas
+// revert.
+var ErrOutOfGas = errors.New("gas: out of gas")
+
+// Schedule assigns costs to the primitive operations of the storage and
+// contract layers. The absolute values are loosely modelled on the EVM fee
+// schedule (reads cheap, writes expensive) but simplified: the paper's
+// evaluation depends only on relative costs.
+type Schedule struct {
+	// TxBase is charged once per transaction (Ethereum: 21000).
+	TxBase Gas
+	// MapRead / MapWrite / MapDelete cost storage map operations.
+	MapRead   Gas
+	MapWrite  Gas
+	MapDelete Gas
+	// CellRead / CellWrite / CellAdd cost scalar cell operations.
+	CellRead  Gas
+	CellWrite Gas
+	CellAdd   Gas
+	// ArrayRead / ArrayWrite / ArrayPush cost array operations.
+	ArrayRead  Gas
+	ArrayWrite Gas
+	ArrayPush  Gas
+	// Step is the cost of one unit of pure computation (hashing, arithmetic
+	// loop iterations). Contract bodies charge Step-multiples for their
+	// non-storage work.
+	Step Gas
+	// Call is the overhead of a nested contract call.
+	Call Gas
+	// LockOverhead models the speculative runtime's per-acquisition cost
+	// (abstract lock acquisition plus inverse logging). Validators replaying
+	// a published schedule do not pay it — that asymmetry is why the paper's
+	// validators outperform its miners.
+	LockOverhead Gas
+	// TraceOverhead models the validator's thread-local recording of the
+	// abstract locks it "would have acquired" (§4); it is deliberately far
+	// cheaper than LockOverhead because it needs no inter-thread
+	// synchronization.
+	TraceOverhead Gas
+	// SpecTxSetup is the per-transaction cost of starting a speculative
+	// action (transaction descriptor, log setup).
+	SpecTxSetup Gas
+	// TaskSetup is the per-transaction cost of a validator fork-join task.
+	TaskSetup Gas
+	// JoinOverhead models one fork-join task dependency join at validation.
+	JoinOverhead Gas
+	// UndoPerOp is the replay cost of one inverse-log entry on abort.
+	UndoPerOp Gas
+	// PoolStartup is the per-worker cost of spinning up and dispatching to
+	// a parallel thread pool. Only parallel executions pay it; it is why
+	// small blocks are not worth parallelizing (paper Figure 1, left).
+	PoolStartup Gas
+}
+
+// DefaultSchedule returns the schedule used across the evaluation.
+func DefaultSchedule() Schedule {
+	return Schedule{
+		TxBase:        210,
+		MapRead:       20,
+		MapWrite:      50,
+		MapDelete:     50,
+		CellRead:      10,
+		CellWrite:     30,
+		CellAdd:       30,
+		ArrayRead:     15,
+		ArrayWrite:    40,
+		ArrayPush:     45,
+		Step:          1,
+		Call:          70,
+		LockOverhead:  32,
+		TraceOverhead: 2,
+		SpecTxSetup:   90,
+		TaskSetup:     10,
+		JoinOverhead:  8,
+		UndoPerOp:     6,
+		PoolStartup:   2500,
+	}
+}
+
+// Meter charges gas against a fixed limit. The zero Meter has limit 0 and
+// fails the first charge; construct with NewMeter.
+//
+// Meter is not safe for concurrent use: each transaction owns exactly one
+// meter, matching the single-threaded semantics of a contract invocation.
+type Meter struct {
+	limit Gas
+	used  Gas
+}
+
+// NewMeter returns a meter with the given limit.
+func NewMeter(limit Gas) *Meter {
+	return &Meter{limit: limit}
+}
+
+// Charge consumes amount from the meter. On exhaustion it records the full
+// limit as used (like the EVM, out-of-gas consumes everything) and returns an
+// error wrapping ErrOutOfGas.
+func (m *Meter) Charge(amount Gas) error {
+	if remaining := m.limit - m.used; amount > remaining {
+		m.used = m.limit
+		return fmt.Errorf("charge %d with %d remaining of %d: %w", amount, remaining, m.limit, ErrOutOfGas)
+	}
+	m.used += amount
+	return nil
+}
+
+// Used reports gas consumed so far.
+func (m *Meter) Used() Gas { return m.used }
+
+// Limit reports the meter's limit.
+func (m *Meter) Limit() Gas { return m.limit }
+
+// Remaining reports gas left before exhaustion.
+func (m *Meter) Remaining() Gas { return m.limit - m.used }
+
+// Refund returns amount to the meter (used by rollback paths that refund
+// storage-release credits). Refunding more than was used saturates at zero.
+func (m *Meter) Refund(amount Gas) {
+	if amount > m.used {
+		m.used = 0
+		return
+	}
+	m.used -= amount
+}
+
+// Reset restores the meter to unused with the same limit (retry of an
+// aborted speculative execution re-arms the transaction's gas).
+func (m *Meter) Reset() { m.used = 0 }

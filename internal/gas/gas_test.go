@@ -1,0 +1,121 @@
+package gas
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeWithinLimit(t *testing.T) {
+	m := NewMeter(100)
+	if err := m.Charge(60); err != nil {
+		t.Fatalf("Charge(60): %v", err)
+	}
+	if m.Used() != 60 || m.Remaining() != 40 {
+		t.Fatalf("used=%d remaining=%d, want 60/40", m.Used(), m.Remaining())
+	}
+}
+
+func TestChargeExactLimit(t *testing.T) {
+	m := NewMeter(100)
+	if err := m.Charge(100); err != nil {
+		t.Fatalf("Charge(limit): %v", err)
+	}
+	if m.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", m.Remaining())
+	}
+}
+
+func TestChargeOverLimit(t *testing.T) {
+	m := NewMeter(100)
+	err := m.Charge(101)
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("Charge(101) error = %v, want ErrOutOfGas", err)
+	}
+	if m.Used() != 100 {
+		t.Fatalf("out-of-gas should consume the full limit; used=%d", m.Used())
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	m := NewMeter(100)
+	for i := 0; i < 10; i++ {
+		if err := m.Charge(10); err != nil {
+			t.Fatalf("charge %d: %v", i, err)
+		}
+	}
+	if err := m.Charge(1); !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("11th charge error = %v, want ErrOutOfGas", err)
+	}
+}
+
+func TestZeroMeterFailsFirstCharge(t *testing.T) {
+	var m Meter
+	if err := m.Charge(1); !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("zero meter Charge(1) = %v, want ErrOutOfGas", err)
+	}
+	if err := m.Charge(0); err != nil {
+		t.Fatalf("zero-amount charge should always succeed: %v", err)
+	}
+}
+
+func TestRefund(t *testing.T) {
+	m := NewMeter(100)
+	_ = m.Charge(50)
+	m.Refund(20)
+	if m.Used() != 30 {
+		t.Fatalf("used after refund = %d, want 30", m.Used())
+	}
+	m.Refund(1000)
+	if m.Used() != 0 {
+		t.Fatalf("over-refund should saturate at 0, used=%d", m.Used())
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(100)
+	_ = m.Charge(70)
+	m.Reset()
+	if m.Used() != 0 || m.Limit() != 100 {
+		t.Fatalf("after reset used=%d limit=%d, want 0/100", m.Used(), m.Limit())
+	}
+}
+
+func TestDefaultScheduleRelativeCosts(t *testing.T) {
+	s := DefaultSchedule()
+	if s.MapWrite <= s.MapRead {
+		t.Fatal("writes must cost more than reads")
+	}
+	if s.LockOverhead == 0 {
+		t.Fatal("lock overhead must be non-zero for the miner/validator asymmetry to exist")
+	}
+	if s.JoinOverhead >= s.LockOverhead {
+		t.Fatal("join overhead must undercut lock overhead, else validators cannot beat miners")
+	}
+	if s.Step != 1 {
+		t.Fatalf("Step = %d, want 1 (gas is the virtual time unit)", s.Step)
+	}
+}
+
+// Property: a sequence of charges summing within the limit always succeeds
+// and Used equals the sum.
+func TestChargeSequenceProperty(t *testing.T) {
+	prop := func(parts []uint16) bool {
+		var total Gas
+		for _, p := range parts {
+			total += Gas(p)
+		}
+		m := NewMeter(total)
+		var sum Gas
+		for _, p := range parts {
+			if err := m.Charge(Gas(p)); err != nil {
+				return false
+			}
+			sum += Gas(p)
+		}
+		return m.Used() == sum && m.Remaining() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package node assembles the library into a runnable service: a mempool,
+// a speculative parallel miner, a deterministic parallel validator and a
+// hash-linked chain behind a small JSON-over-HTTP API. It is the
+// "downstream user" layer: cmd/nodesrv serves it, and the tests drive a
+// miner node and a validator node end to end over HTTP.
+//
+// Endpoints:
+//
+//	POST /tx        {sender, contract, function, args, value, gasLimit}
+//	POST /mine      {blockSize}                 → mines one block from the pool
+//	POST /blocks    (gob block bytes)           → validate + append (validator nodes)
+//	GET  /blocks/N                              → gob block bytes
+//	GET  /head                                  → header summary JSON
+//	GET  /status                                → height, pool depth, stats
+//
+// Transactions arrive as JSON with a small typed argument encoding (see
+// wireArg); blocks travel in the chain package's gob wire format so the
+// schedule metadata survives byte-exact.
+package node
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"contractstm/internal/chain"
+	"contractstm/internal/contract"
+	"contractstm/internal/gas"
+	"contractstm/internal/miner"
+	"contractstm/internal/runtime"
+	"contractstm/internal/txpool"
+	"contractstm/internal/types"
+	"contractstm/internal/validator"
+)
+
+// Config assembles a node.
+type Config struct {
+	// World is the node's contract state at the current chain head.
+	World *contract.World
+	// Workers is the mining/validation pool size.
+	Workers int
+	// Runner executes mining and validation (nil = real OS threads).
+	Runner runtime.Runner
+	// SelectionPolicy picks block transactions from the pool.
+	SelectionPolicy txpool.Policy
+}
+
+// Node is a single in-process blockchain node.
+type Node struct {
+	mu      sync.Mutex
+	world   *contract.World
+	chain   *chain.Chain
+	pool    *txpool.Pool
+	workers int
+	runner  runtime.Runner
+	policy  txpool.Policy
+	// stats
+	minedBlocks     int
+	validatedBlocks int
+	totalRetries    int
+}
+
+// New creates a node whose genesis commits to the world's current state.
+func New(cfg Config) (*Node, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("node: nil world")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = runtime.NewOSRunner(nil)
+	}
+	if cfg.SelectionPolicy == 0 {
+		cfg.SelectionPolicy = txpool.PolicyFIFO
+	}
+	root, err := cfg.World.StateRoot()
+	if err != nil {
+		return nil, fmt.Errorf("node: state root: %w", err)
+	}
+	return &Node{
+		world:   cfg.World,
+		chain:   chain.New(root),
+		pool:    txpool.New(),
+		workers: cfg.Workers,
+		runner:  cfg.Runner,
+		policy:  cfg.SelectionPolicy,
+	}, nil
+}
+
+// Submit queues a transaction.
+func (n *Node) Submit(call contract.Call) { n.pool.Submit(call) }
+
+// PoolLen reports queued transactions.
+func (n *Node) PoolLen() int { return n.pool.Len() }
+
+// Height returns the chain height (genesis = 0).
+func (n *Node) Height() uint64 {
+	return n.chain.Head().Header.Number
+}
+
+// Head returns the chain head.
+func (n *Node) Head() chain.Block { return n.chain.Head() }
+
+// BlockAt returns a block by height.
+func (n *Node) BlockAt(h uint64) (chain.Block, bool) { return n.chain.BlockAt(h) }
+
+// MineOne selects up to blockSize transactions, mines them speculatively
+// in parallel, appends the block and reports conflict feedback to the
+// pool. It returns the sealed block.
+func (n *Node) MineOne(blockSize int) (chain.Block, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	calls, err := n.pool.Select(n.policy, blockSize)
+	if err != nil {
+		return chain.Block{}, fmt.Errorf("node: select: %w", err)
+	}
+	snap := n.world.Snapshot()
+	res, err := miner.MineParallel(n.runner, n.world, n.chain.Head().Header, calls,
+		miner.Config{Workers: n.workers})
+	if err != nil {
+		n.world.Restore(snap)
+		return chain.Block{}, fmt.Errorf("node: mine: %w", err)
+	}
+	if err := n.chain.Append(res.Block); err != nil {
+		n.world.Restore(snap)
+		return chain.Block{}, fmt.Errorf("node: append: %w", err)
+	}
+	var conflicted []contract.Call
+	for _, id := range res.Stats.RetriedTxs {
+		conflicted = append(conflicted, calls[id])
+	}
+	n.pool.ReportConflicts(conflicted)
+	n.minedBlocks++
+	n.totalRetries += res.Stats.Retries
+	return res.Block, nil
+}
+
+// AcceptBlock validates a foreign block against the node's state and
+// appends it — the validator-node path. On rejection the world state is
+// restored.
+func (n *Node) AcceptBlock(b chain.Block) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	snap := n.world.Snapshot()
+	if _, err := validator.Validate(n.runner, n.world, b, validator.Config{Workers: n.workers}); err != nil {
+		n.world.Restore(snap)
+		return fmt.Errorf("node: %w", err)
+	}
+	if err := n.chain.Append(b); err != nil {
+		n.world.Restore(snap)
+		return fmt.Errorf("node: append: %w", err)
+	}
+	n.validatedBlocks++
+	return nil
+}
+
+// Status summarizes the node.
+type Status struct {
+	Height          uint64     `json:"height"`
+	HeadHash        types.Hash `json:"headHash"`
+	PoolLen         int        `json:"poolLen"`
+	MinedBlocks     int        `json:"minedBlocks"`
+	ValidatedBlocks int        `json:"validatedBlocks"`
+	TotalRetries    int        `json:"totalRetries"`
+}
+
+// CurrentStatus snapshots node statistics.
+func (n *Node) CurrentStatus() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	head := n.chain.Head()
+	return Status{
+		Height:          head.Header.Number,
+		HeadHash:        head.Header.Hash(),
+		PoolLen:         n.pool.Len(),
+		MinedBlocks:     n.minedBlocks,
+		ValidatedBlocks: n.validatedBlocks,
+		TotalRetries:    n.totalRetries,
+	}
+}
+
+// --- HTTP layer -----------------------------------------------------------
+
+// wireArg is the JSON encoding of one contract call argument.
+type wireArg struct {
+	// Type is one of "uint64", "int", "bool", "string", "address",
+	// "hash", "amount".
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+func decodeArg(a wireArg) (any, error) {
+	switch a.Type {
+	case "uint64":
+		n, err := strconv.ParseUint(a.Value, 10, 64)
+		return n, err
+	case "int":
+		n, err := strconv.Atoi(a.Value)
+		return n, err
+	case "bool":
+		return a.Value == "true", nil
+	case "string":
+		return a.Value, nil
+	case "address":
+		return types.ParseAddress(a.Value)
+	case "hash":
+		return types.ParseHash(a.Value)
+	case "amount":
+		n, err := strconv.ParseUint(a.Value, 10, 64)
+		return types.Amount(n), err
+	default:
+		return nil, fmt.Errorf("unknown argument type %q", a.Type)
+	}
+}
+
+// EncodeArg renders a call argument for the wire (client helper).
+func EncodeArg(v any) (wire wireArg, err error) {
+	switch x := v.(type) {
+	case uint64:
+		return wireArg{Type: "uint64", Value: strconv.FormatUint(x, 10)}, nil
+	case int:
+		return wireArg{Type: "int", Value: strconv.Itoa(x)}, nil
+	case bool:
+		return wireArg{Type: "bool", Value: strconv.FormatBool(x)}, nil
+	case string:
+		return wireArg{Type: "string", Value: x}, nil
+	case types.Address:
+		return wireArg{Type: "address", Value: x.String()}, nil
+	case types.Hash:
+		return wireArg{Type: "hash", Value: x.String()}, nil
+	case types.Amount:
+		return wireArg{Type: "amount", Value: strconv.FormatUint(uint64(x), 10)}, nil
+	default:
+		return wireArg{}, fmt.Errorf("unsupported argument type %T", v)
+	}
+}
+
+// wireTx is the JSON encoding of a submitted transaction.
+type wireTx struct {
+	Sender   string    `json:"sender"`
+	Contract string    `json:"contract"`
+	Function string    `json:"function"`
+	Args     []wireArg `json:"args,omitempty"`
+	Value    uint64    `json:"value,omitempty"`
+	GasLimit uint64    `json:"gasLimit"`
+}
+
+// Handler returns the node's HTTP API.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tx", n.handleTx)
+	mux.HandleFunc("POST /mine", n.handleMine)
+	mux.HandleFunc("POST /blocks", n.handleAcceptBlock)
+	mux.HandleFunc("GET /blocks/{height}", n.handleGetBlock)
+	mux.HandleFunc("GET /head", n.handleHead)
+	mux.HandleFunc("GET /status", n.handleStatus)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (n *Node) handleTx(w http.ResponseWriter, r *http.Request) {
+	var tx wireTx
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&tx); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sender, err := types.ParseAddress(tx.Sender)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	target, err := types.ParseAddress(tx.Contract)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(tx.Function) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing function"))
+		return
+	}
+	args := make([]any, 0, len(tx.Args))
+	for _, a := range tx.Args {
+		v, err := decodeArg(a)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		args = append(args, v)
+	}
+	limit := gas.Gas(tx.GasLimit)
+	if limit == 0 {
+		limit = 1_000_000
+	}
+	n.Submit(contract.Call{
+		Sender: sender, Contract: target, Function: tx.Function,
+		Args: args, Value: types.Amount(tx.Value), GasLimit: limit,
+	})
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]int{"poolLen": n.PoolLen()})
+}
+
+func (n *Node) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		BlockSize int `json:"blockSize"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.BlockSize <= 0 {
+		req.BlockSize = 100
+	}
+	block, err := n.MineOne(req.BlockSize)
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(headerSummary(block))
+}
+
+func (n *Node) handleAcceptBlock(w http.ResponseWriter, r *http.Request) {
+	block, err := chain.DecodeBlock(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := n.AcceptBlock(block); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(headerSummary(block))
+}
+
+func (n *Node) handleGetBlock(w http.ResponseWriter, r *http.Request) {
+	height, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	block, ok := n.BlockAt(height)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no block at height %d", height))
+		return
+	}
+	var buf bytes.Buffer
+	if err := chain.EncodeBlock(&buf, block); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (n *Node) handleHead(w http.ResponseWriter, r *http.Request) {
+	_ = json.NewEncoder(w).Encode(headerSummary(n.Head()))
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	_ = json.NewEncoder(w).Encode(n.CurrentStatus())
+}
+
+// headerSummary is the JSON view of a block header plus body sizes.
+func headerSummary(b chain.Block) map[string]any {
+	return map[string]any{
+		"number":       b.Header.Number,
+		"hash":         b.Header.Hash().String(),
+		"parentHash":   b.Header.ParentHash.String(),
+		"stateRoot":    b.Header.StateRoot.String(),
+		"txCount":      len(b.Calls),
+		"edges":        len(b.Schedule.Edges),
+		"scheduleHash": b.Header.ScheduleHash.String(),
+	}
+}

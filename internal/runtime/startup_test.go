@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"contractstm/internal/gas"
+)
+
+func TestWithStartupWorkAddsFixedCost(t *testing.T) {
+	base := NewSimRunner()
+	wrapped := WithStartupWork(base, 500)
+	ms, err := wrapped.Run(3, func(th Thread) {
+		th.Work(100)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Startup and body overlap across workers: makespan = 500 + 100.
+	if ms != 600 {
+		t.Fatalf("makespan = %d, want 600", ms)
+	}
+}
+
+func TestWithStartupWorkZeroIsIdentity(t *testing.T) {
+	base := NewSimRunner()
+	if WithStartupWork(base, 0) != Runner(base) {
+		t.Fatal("zero-cost wrapper should return the runner unchanged")
+	}
+}
+
+func TestWithStartupWorkOnOSRunner(t *testing.T) {
+	var ran atomic.Int32
+	wrapped := WithStartupWork(NewOSRunner(nil), gas.Gas(10))
+	_, err := wrapped.Run(2, func(th Thread) {
+		// Work is a no-op with a nil burner; the wrapper must still
+		// delegate correctly.
+		ran.Add(1)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("body ran %d times, want 2", ran.Load())
+	}
+}
+
+func TestSimRunnerInterferenceConfig(t *testing.T) {
+	// Two concurrently-active workers at 500 per-mille: each unit costs
+	// 1.5x.
+	r := NewSimRunnerInterference(500)
+	ms, err := r.Run(2, func(th Thread) {
+		th.Work(100)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ms != 150 {
+		t.Fatalf("makespan = %d, want 150", ms)
+	}
+}

@@ -1,0 +1,425 @@
+// Package sched builds and validates the scheduling metadata at the heart
+// of the paper's proposal: the happens-before graph H derived from the
+// miner's lock profiles, the serial order S obtained by topological sort
+// (Algorithm 1), and the fork-join plan the validator executes
+// (Algorithm 2). It also implements the validator-side safety checks: H
+// must be acyclic, S must be one of its topological orders, and the traces
+// collected during replay must be race-free under H.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"contractstm/internal/stm"
+	"contractstm/internal/types"
+)
+
+// Errors reported by graph construction and verification.
+var (
+	// ErrCyclic reports a cycle in a claimed happens-before graph.
+	ErrCyclic = errors.New("sched: happens-before graph is cyclic")
+	// ErrBadOrder reports a serial order that is not a topological order of
+	// the happens-before graph.
+	ErrBadOrder = errors.New("sched: serial order is not a topological order of H")
+	// ErrRace reports two conflicting lock accesses unordered by H.
+	ErrRace = errors.New("sched: data race: conflicting accesses unordered by happens-before")
+	// ErrMalformed reports structurally invalid schedule metadata.
+	ErrMalformed = errors.New("sched: malformed schedule")
+)
+
+// Edge is one happens-before constraint: From must complete before To runs.
+type Edge struct {
+	From types.TxID `json:"from"`
+	To   types.TxID `json:"to"`
+}
+
+// Graph is a happens-before DAG over the transactions 0..N-1 of one block.
+type Graph struct {
+	n     int
+	succs [][]int
+	preds [][]int
+}
+
+// NewGraph returns an edgeless graph over n transactions.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, succs: make([][]int, n), preds: make([][]int, n)}
+}
+
+// N returns the number of transactions.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts from→to, ignoring duplicates and self-edges.
+func (g *Graph) AddEdge(from, to int) {
+	if from == to || from < 0 || to < 0 || from >= g.n || to >= g.n {
+		return
+	}
+	for _, s := range g.succs[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+// Preds returns tx's immediate happens-before predecessors, sorted.
+func (g *Graph) Preds(tx int) []int {
+	out := append([]int(nil), g.preds[tx]...)
+	sort.Ints(out)
+	return out
+}
+
+// Succs returns tx's immediate successors, sorted.
+func (g *Graph) Succs(tx int) []int {
+	out := append([]int(nil), g.succs[tx]...)
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges sorted by (from, to); the canonical encoding for
+// blocks.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for from, ss := range g.succs {
+		for _, to := range ss {
+			out = append(out, Edge{From: types.TxID(from), To: types.TxID(to)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, ss := range g.succs {
+		n += len(ss)
+	}
+	return n
+}
+
+// GraphFromEdges rebuilds a graph from its canonical edge list (validator
+// side). It rejects out-of-range endpoints.
+func GraphFromEdges(n int, edges []Edge) (*Graph, error) {
+	g := NewGraph(n)
+	for _, e := range edges {
+		if int(e.From) >= n || int(e.To) >= n || e.From == e.To {
+			return nil, fmt.Errorf("%w: edge %d->%d with %d transactions", ErrMalformed, e.From, e.To, n)
+		}
+		g.AddEdge(int(e.From), int(e.To))
+	}
+	return g, nil
+}
+
+// holderRec is one committed transaction's use of one lock.
+type holderRec struct {
+	tx      int
+	mode    stm.Mode
+	counter uint64
+}
+
+// BuildHappensBefore derives H from the lock profiles the transactions
+// registered at commit (§4): for each abstract lock, committed holders are
+// ordered by use counter, runs of mutually-compatible holders (same
+// non-exclusive mode) are grouped, and each holder gets an edge from every
+// member of the immediately preceding conflicting group. Compatible holders
+// get no mutual edges — that is what keeps Ballot's commuting vote
+// increments parallel for the validator too.
+func BuildHappensBefore(n int, profiles []stm.Profile) (*Graph, error) {
+	perLock := make(map[stm.LockID][]holderRec)
+	for _, p := range profiles {
+		if int(p.Tx) >= n {
+			return nil, fmt.Errorf("%w: profile for %s with %d transactions", ErrMalformed, p.Tx, n)
+		}
+		for _, e := range p.Entries {
+			perLock[e.Lock] = append(perLock[e.Lock], holderRec{tx: int(p.Tx), mode: e.Mode, counter: e.Counter})
+		}
+	}
+	g := NewGraph(n)
+	for lock, hs := range perLock {
+		sort.Slice(hs, func(i, j int) bool { return hs[i].counter < hs[j].counter })
+		for i := 1; i < len(hs); i++ {
+			if hs[i].counter == hs[i-1].counter {
+				return nil, fmt.Errorf("%w: duplicate counter %d on lock %s", ErrMalformed, hs[i].counter, lock)
+			}
+		}
+		var prevGroup, curGroup []holderRec
+		for _, h := range hs {
+			if len(curGroup) > 0 && !stm.Compatible(curGroup[0].mode, h.mode) {
+				prevGroup, curGroup = curGroup, nil
+			}
+			for _, p := range prevGroup {
+				g.AddEdge(p.tx, h.tx)
+			}
+			curGroup = append(curGroup, h)
+		}
+	}
+	return g, nil
+}
+
+// txHeap is a min-heap of transaction ids for deterministic Kahn sorting.
+type txHeap []int
+
+func (h txHeap) Len() int            { return len(h) }
+func (h txHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h txHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *txHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *txHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopoSort returns the deterministic topological order of g (Kahn's
+// algorithm, smallest-id-first tie-breaking), or ErrCyclic.
+func TopoSort(g *Graph) ([]types.TxID, error) {
+	indeg := make([]int, g.n)
+	for _, ss := range g.succs {
+		for _, to := range ss {
+			indeg[to]++
+		}
+	}
+	h := &txHeap{}
+	for i := 0; i < g.n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(h, i)
+		}
+	}
+	order := make([]types.TxID, 0, g.n)
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int)
+		order = append(order, types.TxID(v))
+		for _, to := range g.succs[v] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				heap.Push(h, to)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, fmt.Errorf("%w: %d of %d transactions ordered", ErrCyclic, len(order), g.n)
+	}
+	return order, nil
+}
+
+// VerifyOrder checks that order is a permutation of 0..N-1 and a
+// topological order of g.
+func VerifyOrder(g *Graph, order []types.TxID) error {
+	if len(order) != g.n {
+		return fmt.Errorf("%w: order has %d entries for %d transactions", ErrMalformed, len(order), g.n)
+	}
+	pos := make([]int, g.n)
+	seen := make([]bool, g.n)
+	for i, tx := range order {
+		if int(tx) >= g.n || seen[tx] {
+			return fmt.Errorf("%w: entry %d (%s)", ErrMalformed, i, tx)
+		}
+		seen[tx] = true
+		pos[tx] = i
+	}
+	for from, ss := range g.succs {
+		for _, to := range ss {
+			if pos[from] >= pos[to] {
+				return fmt.Errorf("%w: edge %d->%d but positions %d>=%d", ErrBadOrder, from, to, pos[from], pos[to])
+			}
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the weight of the heaviest path through g, where
+// weight[i] is transaction i's cost (use 1 for hop counts). It is the
+// validator's inherent lower bound on parallel execution time, and the
+// paper suggests rewarding miners for schedules with short critical paths.
+func CriticalPath(g *Graph, weight []uint64) (uint64, error) {
+	if len(weight) != g.n {
+		return 0, fmt.Errorf("%w: %d weights for %d transactions", ErrMalformed, len(weight), g.n)
+	}
+	order, err := TopoSort(g)
+	if err != nil {
+		return 0, err
+	}
+	finish := make([]uint64, g.n)
+	var max uint64
+	for _, tx := range order {
+		v := int(tx)
+		var start uint64
+		for _, p := range g.preds[v] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[v] = start + weight[v]
+		if finish[v] > max {
+			max = finish[v]
+		}
+	}
+	return max, nil
+}
+
+// Reachability computes the transitive closure of g as bitsets: bit t of
+// row f reports f⇝t. O(V·E/64); blocks are at most a few hundred
+// transactions, so rows are a handful of words.
+func Reachability(g *Graph) ([][]uint64, error) {
+	order, err := TopoSort(g)
+	if err != nil {
+		return nil, err
+	}
+	words := (g.n + 63) / 64
+	reach := make([][]uint64, g.n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+	}
+	// Walk in reverse topological order: successors are final when visited.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := int(order[i])
+		row := reach[v]
+		for _, s := range g.succs[v] {
+			row[s/64] |= 1 << (uint(s) % 64)
+			for w, bits := range reach[s] {
+				row[w] |= bits
+			}
+		}
+	}
+	return reach, nil
+}
+
+// Ordered reports whether a⇝b or b⇝a in the closure.
+func Ordered(reach [][]uint64, a, b int) bool {
+	if reach[a][b/64]&(1<<(uint(b)%64)) != 0 {
+		return true
+	}
+	return reach[b][a/64]&(1<<(uint(a)%64)) != 0
+}
+
+// CheckRaces verifies that every pair of transactions whose traces touch
+// the same lock in conflicting modes is ordered by H. This is the
+// validator's "data race (an unsynchronized concurrent access)" check (§5).
+func CheckRaces(g *Graph, traces []stm.Trace) error {
+	reach, err := Reachability(g)
+	if err != nil {
+		return err
+	}
+	type use struct {
+		tx   int
+		mode stm.Mode
+	}
+	perLock := make(map[stm.LockID][]use)
+	for _, tr := range traces {
+		if int(tr.Tx) >= g.n {
+			return fmt.Errorf("%w: trace for %s with %d transactions", ErrMalformed, tr.Tx, g.n)
+		}
+		for _, e := range tr.Entries {
+			perLock[e.Lock] = append(perLock[e.Lock], use{tx: int(tr.Tx), mode: e.Mode})
+		}
+	}
+	for lock, uses := range perLock {
+		for i := 0; i < len(uses); i++ {
+			for j := i + 1; j < len(uses); j++ {
+				a, b := uses[i], uses[j]
+				if a.tx == b.tx || stm.Compatible(a.mode, b.mode) {
+					continue
+				}
+				if !Ordered(reach, a.tx, b.tx) {
+					return fmt.Errorf("%w: %s and %s on lock %s (%s vs %s)",
+						ErrRace, types.TxID(a.tx), types.TxID(b.tx), lock, a.mode, b.mode)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule bundles the miner's published metadata: the serial order S and
+// the happens-before edges of H (Algorithm 1's output, stored in the
+// block).
+type Schedule struct {
+	Order []types.TxID `json:"order"`
+	Edges []Edge       `json:"edges"`
+}
+
+// BuildSchedule runs the data half of Algorithm 1: derive H from the
+// profiles and produce the serial order S by topological sort.
+func BuildSchedule(n int, profiles []stm.Profile) (Schedule, *Graph, error) {
+	g, err := BuildHappensBefore(n, profiles)
+	if err != nil {
+		return Schedule{}, nil, err
+	}
+	order, err := TopoSort(g)
+	if err != nil {
+		return Schedule{}, nil, err
+	}
+	return Schedule{Order: order, Edges: g.Edges()}, g, nil
+}
+
+// Plan is the validator's fork-join program (Algorithm 2): for each
+// transaction, the tasks it must join before executing. Preds is indexed by
+// transaction id.
+type Plan struct {
+	Order []types.TxID
+	Preds [][]int
+}
+
+// ConstructValidator compiles a published schedule into a fork-join plan,
+// verifying the schedule's integrity first (H acyclic and S one of its
+// topological orders). This is Algorithm 2.
+func ConstructValidator(n int, s Schedule) (Plan, *Graph, error) {
+	g, err := GraphFromEdges(n, s.Edges)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+	if err := VerifyOrder(g, s.Order); err != nil {
+		return Plan{}, nil, err
+	}
+	plan := Plan{Order: s.Order, Preds: make([][]int, n)}
+	for tx := 0; tx < n; tx++ {
+		plan.Preds[tx] = g.Preds(tx)
+	}
+	return plan, g, nil
+}
+
+// ParallelismMetrics summarizes a schedule's inherent parallelism; the
+// paper proposes rewarding miners by critical-path length, and
+// cmd/scheduleviz prints these.
+type ParallelismMetrics struct {
+	// Transactions is the block size.
+	Transactions int
+	// Edges is the number of happens-before constraints.
+	Edges int
+	// CriticalPathLen is the longest chain length (unit weights).
+	CriticalPathLen uint64
+	// MaxWidth is Transactions/CriticalPathLen rounded up — an upper bound
+	// proxy for achievable speedup.
+	MaxWidth float64
+}
+
+// Metrics computes ParallelismMetrics for g.
+func Metrics(g *Graph) (ParallelismMetrics, error) {
+	weights := make([]uint64, g.n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	cp, err := CriticalPath(g, weights)
+	if err != nil {
+		return ParallelismMetrics{}, err
+	}
+	m := ParallelismMetrics{
+		Transactions:    g.n,
+		Edges:           g.EdgeCount(),
+		CriticalPathLen: cp,
+	}
+	if cp > 0 {
+		m.MaxWidth = float64(g.n) / float64(cp)
+	}
+	return m, nil
+}

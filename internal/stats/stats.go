@@ -1,0 +1,126 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: means, standard deviations and series formatting,
+// mirroring the paper's protocol ("the running time is collected five
+// times and the mean and standard deviation are measured").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a collection of measurements.
+type Sample struct {
+	values []float64
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator; 0 when
+// fewer than two measurements exist).
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Min returns the smallest measurement (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest measurement (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Median returns the middle measurement (0 for an empty sample).
+func (s *Sample) Median() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Summary renders "mean ± stddev" with the given precision.
+func (s *Sample) Summary(prec int) string {
+	return fmt.Sprintf("%.*f ± %.*f", prec, s.Mean(), prec, s.StdDev())
+}
+
+// GeoMean returns the geometric mean of positive values; used to average
+// speedups across benchmarks without letting one outlier dominate.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(values)))
+}
+
+// ArithMean returns the arithmetic mean of a plain slice. The paper's
+// Table 1 averages speedups arithmetically.
+func ArithMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanAndStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if !almostEqual(s.Mean(), 5) {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	// Sample stddev with n-1 denominator: sqrt(32/7).
+	if !almostEqual(s.StdDev(), math.Sqrt(32.0/7.0)) {
+		t.Fatalf("stddev = %f", s.StdDev())
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSingleValueSample(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	if s.Mean() != 42 || s.StdDev() != 0 || s.Median() != 42 {
+		t.Fatalf("single-value sample: mean=%f stddev=%f median=%f", s.Mean(), s.StdDev(), s.Median())
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{9, 1, 5, 3, 7} {
+		s.Add(v)
+	}
+	if s.Min() != 1 || s.Max() != 9 || s.Median() != 5 {
+		t.Fatalf("min=%f max=%f median=%f", s.Min(), s.Max(), s.Median())
+	}
+	s.Add(11) // even count: median of 5 and 7
+	if s.Median() != 6 {
+		t.Fatalf("even median = %f", s.Median())
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.Summary(1); got != "2.0 ± 1.4" {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEqual(GeoMean([]float64{2, 8}), 4) {
+		t.Fatalf("geomean(2,8) = %f", GeoMean([]float64{2, 8}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean(nil) != 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("geomean with zero should be 0")
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if !almostEqual(ArithMean([]float64{1, 2, 3}), 2) {
+		t.Fatal("arith mean broken")
+	}
+	if ArithMean(nil) != 0 {
+		t.Fatal("arith mean of empty should be 0")
+	}
+}
+
+// Property: mean is within [min, max] and stddev is non-negative.
+func TestSampleInvariants(t *testing.T) {
+	prop := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Scale into a sane range to avoid float overflow artifacts.
+			s.Add(math.Mod(v, 1e9))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-6 && s.Mean() <= s.Max()+1e-6 && s.StdDev() >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

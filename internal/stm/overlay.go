@@ -1,0 +1,92 @@
+package stm
+
+import "sort"
+
+// Overlay is a transaction-local write buffer used by PolicyLazy: instead of
+// mutating boosted storage in place and logging inverses, writes land here
+// and are applied to the underlying object at commit, while reads consult
+// the overlay first (read-your-writes). Aborting a lazy transaction simply
+// discards the overlay — no inverse replay needed.
+//
+// Keys are (object id, key) pairs; object ids are allocated by the storage
+// layer (one per boosted object). Each entry carries an apply closure bound
+// to its object so the overlay itself stays storage-agnostic.
+//
+// Overlay is owner-thread-local and needs no locking.
+type Overlay struct {
+	entries map[OverlayKey]*overlayEntry
+}
+
+// OverlayKey addresses one semantic unit of one boosted object.
+type OverlayKey struct {
+	Obj uint64
+	Key string
+}
+
+type overlayEntry struct {
+	val     any
+	deleted bool
+	apply   func(val any, deleted bool)
+}
+
+// NewOverlay returns an empty overlay.
+func NewOverlay() *Overlay {
+	return &Overlay{entries: make(map[OverlayKey]*overlayEntry)}
+}
+
+// Put buffers a write (or delete) of key. apply is invoked at commit with
+// the final buffered value; later Puts to the same key replace earlier ones.
+func (o *Overlay) Put(key OverlayKey, val any, deleted bool, apply func(val any, deleted bool)) {
+	if e, ok := o.entries[key]; ok {
+		e.val, e.deleted, e.apply = val, deleted, apply
+		return
+	}
+	o.entries[key] = &overlayEntry{val: val, deleted: deleted, apply: apply}
+}
+
+// Get returns the buffered value for key, if any. deleted reports a
+// buffered delete.
+func (o *Overlay) Get(key OverlayKey) (val any, deleted, ok bool) {
+	e, found := o.entries[key]
+	if !found {
+		return nil, false, false
+	}
+	return e.val, e.deleted, true
+}
+
+// Len reports the number of buffered entries.
+func (o *Overlay) Len() int { return len(o.entries) }
+
+// Merge folds a committing child overlay into this one; the child's entries
+// win on key collisions (the child executed later).
+func (o *Overlay) Merge(child *Overlay) {
+	for k, e := range child.entries {
+		o.entries[k] = e
+	}
+}
+
+// Apply writes every buffered entry to its underlying object, in
+// deterministic (object id, key) order, then clears the overlay. The caller
+// must still hold the transaction's abstract locks.
+func (o *Overlay) Apply() {
+	keys := make([]OverlayKey, 0, len(o.entries))
+	for k := range o.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Obj != keys[j].Obj {
+			return keys[i].Obj < keys[j].Obj
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	for _, k := range keys {
+		e := o.entries[k]
+		e.apply(e.val, e.deleted)
+	}
+	o.Clear()
+}
+
+// Clear discards all buffered entries.
+func (o *Overlay) Clear() {
+	o.entries = make(map[OverlayKey]*overlayEntry)
+}

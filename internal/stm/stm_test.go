@@ -1,0 +1,358 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+
+	"contractstm/internal/gas"
+	"contractstm/internal/runtime"
+	"contractstm/internal/types"
+)
+
+func TestModeCompatibility(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{ModeShared, ModeShared, true},
+		{ModeIncrement, ModeIncrement, true},
+		{ModeExclusive, ModeExclusive, false},
+		{ModeShared, ModeExclusive, false},
+		{ModeExclusive, ModeShared, false},
+		{ModeShared, ModeIncrement, false},
+		{ModeIncrement, ModeShared, false},
+		{ModeIncrement, ModeExclusive, false},
+	}
+	for _, tc := range cases {
+		if got := Compatible(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if Combine(ModeShared, ModeShared) != ModeShared {
+		t.Error("shared+shared should stay shared")
+	}
+	if Combine(ModeIncrement, ModeIncrement) != ModeIncrement {
+		t.Error("increment+increment should stay increment")
+	}
+	if Combine(ModeShared, ModeIncrement) != ModeExclusive {
+		t.Error("shared+increment must escalate to exclusive")
+	}
+	if Combine(ModeShared, ModeExclusive) != ModeExclusive {
+		t.Error("shared+exclusive must be exclusive")
+	}
+}
+
+func TestLockIDOrderingAndString(t *testing.T) {
+	a := LockID{Scope: "a", Key: "1"}
+	b := LockID{Scope: "a", Key: "2"}
+	c := LockID{Scope: "b", Key: "0"}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("LockID.Less ordering broken")
+	}
+	if a.String() != "a[1]" {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, s := range []string{
+		ModeShared.String(), ModeIncrement.String(), ModeExclusive.String(),
+		KindSpeculative.String(), KindSerial.String(), KindReplay.String(),
+		PolicyEager.String(), PolicyLazy.String(),
+		StatusActive.String(), StatusCommitted.String(), StatusAborted.String(), StatusReverted.String(),
+	} {
+		if s == "" {
+			t.Fatal("empty enum string")
+		}
+	}
+	if Mode(99).String() == "" || Kind(99).String() == "" || Policy(99).String() == "" || Status(99).String() == "" {
+		t.Fatal("unknown enum values must still render")
+	}
+}
+
+// singleThread runs body on a one-worker sim pool and returns the makespan.
+func singleThread(t *testing.T, body func(th runtime.Thread)) uint64 {
+	t.Helper()
+	ms, err := runtime.NewSimRunner().Run(1, body)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	return ms
+}
+
+func TestSpeculativeCommitProducesProfile(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	lockA := LockID{Scope: "m", Key: "a"}
+	lockB := LockID{Scope: "m", Key: "b"}
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		if err := tx.Access(lockA, ModeExclusive, 10); err != nil {
+			t.Errorf("access A: %v", err)
+		}
+		if err := tx.Access(lockB, ModeShared, 10); err != nil {
+			t.Errorf("access B: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		p := tx.Profile()
+		if p.Tx != 0 || len(p.Entries) != 2 {
+			t.Fatalf("profile = %+v, want 2 entries", p)
+		}
+		// Sorted by lock: a before b.
+		if p.Entries[0].Lock != lockA || p.Entries[0].Mode != ModeExclusive || p.Entries[0].Counter != 1 {
+			t.Errorf("entry 0 = %+v", p.Entries[0])
+		}
+		if p.Entries[1].Lock != lockB || p.Entries[1].Mode != ModeShared || p.Entries[1].Counter != 1 {
+			t.Errorf("entry 1 = %+v", p.Entries[1])
+		}
+	})
+}
+
+func TestUseCountersIncrementAcrossCommits(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	lock := LockID{Scope: "m", Key: "k"}
+	singleThread(t, func(th runtime.Thread) {
+		for i := 0; i < 3; i++ {
+			tx := BeginSpeculative(mgr, types.TxID(i), th, gas.NewMeter(1_000_000), PolicyEager)
+			if err := tx.Access(lock, ModeExclusive, 10); err != nil {
+				t.Errorf("access: %v", err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+			if got := tx.Profile().Entries[0].Counter; got != uint64(i+1) {
+				t.Errorf("tx %d counter = %d, want %d", i, got, i+1)
+			}
+		}
+	})
+	if mgr.Counter(lock) != 3 {
+		t.Fatalf("final counter = %d, want 3", mgr.Counter(lock))
+	}
+}
+
+func TestAbortDoesNotBumpCounter(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	lock := LockID{Scope: "m", Key: "k"}
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		if err := tx.Access(lock, ModeExclusive, 10); err != nil {
+			t.Errorf("access: %v", err)
+		}
+		if err := tx.Abort(); err != nil {
+			t.Errorf("abort: %v", err)
+		}
+	})
+	if mgr.Counter(lock) != 0 {
+		t.Fatalf("aborted tx bumped counter to %d", mgr.Counter(lock))
+	}
+}
+
+func TestUndoLogReplayedInReverseOrder(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	var log []int
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		tx.LogUndo(func() { log = append(log, 1) })
+		tx.LogUndo(func() { log = append(log, 2) })
+		tx.LogUndo(func() { log = append(log, 3) })
+		if err := tx.Abort(); err != nil {
+			t.Errorf("abort: %v", err)
+		}
+	})
+	if len(log) != 3 || log[0] != 3 || log[1] != 2 || log[2] != 1 {
+		t.Fatalf("undo order = %v, want [3 2 1]", log)
+	}
+}
+
+func TestRevertUndoesButKeepsSchedulePresence(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	lock := LockID{Scope: "m", Key: "k"}
+	value := 10
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		if err := tx.Access(lock, ModeExclusive, 10); err != nil {
+			t.Errorf("access: %v", err)
+		}
+		old := value
+		tx.LogUndo(func() { value = old })
+		value = 99
+		if err := tx.Revert(); err != nil {
+			t.Errorf("revert: %v", err)
+		}
+		if len(tx.Profile().Entries) != 1 {
+			t.Errorf("reverted tx must still publish a profile, got %+v", tx.Profile())
+		}
+		if tx.Status() != StatusReverted {
+			t.Errorf("status = %v", tx.Status())
+		}
+	})
+	if value != 10 {
+		t.Fatalf("revert did not undo: value = %d", value)
+	}
+	if mgr.Counter(lock) != 1 {
+		t.Fatalf("reverted tx must bump counters (schedule presence); counter = %d", mgr.Counter(lock))
+	}
+}
+
+func TestOutOfGasSurfacesFromAccess(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(5), PolicyEager)
+		err := tx.Access(LockID{Scope: "m", Key: "k"}, ModeShared, 10)
+		if !errors.Is(err, gas.ErrOutOfGas) {
+			t.Errorf("err = %v, want ErrOutOfGas", err)
+		}
+	})
+}
+
+func TestDoneTxRejectsFurtherUse(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		if err := tx.Access(LockID{Scope: "m"}, ModeShared, 1); !errors.Is(err, ErrTxDone) {
+			t.Errorf("Access after commit = %v, want ErrTxDone", err)
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+			t.Errorf("double commit = %v, want ErrTxDone", err)
+		}
+		if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+			t.Errorf("abort after commit = %v, want ErrTxDone", err)
+		}
+		if _, err := tx.BeginNested(); !errors.Is(err, ErrTxDone) {
+			t.Errorf("BeginNested after commit = %v, want ErrTxDone", err)
+		}
+	})
+}
+
+func TestSerialKindNeedsNoManager(t *testing.T) {
+	var value int
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSerial(0, th, gas.NewMeter(1_000_000), gas.DefaultSchedule())
+		if err := tx.Access(LockID{Scope: "m", Key: "k"}, ModeExclusive, 10); err != nil {
+			t.Errorf("access: %v", err)
+		}
+		tx.LogUndo(func() { value = 0 })
+		value = 7
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+	})
+	if value != 7 {
+		t.Fatalf("value = %d, want 7", value)
+	}
+}
+
+func TestSerialRevertUndoes(t *testing.T) {
+	value := 1
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSerial(0, th, gas.NewMeter(1_000_000), gas.DefaultSchedule())
+		tx.LogUndo(func() { value = 1 })
+		value = 2
+		if err := tx.Revert(); err != nil {
+			t.Errorf("revert: %v", err)
+		}
+	})
+	if value != 1 {
+		t.Fatalf("serial revert did not undo: value = %d", value)
+	}
+}
+
+func TestReplayTraceRecordsAndCombines(t *testing.T) {
+	lock := LockID{Scope: "m", Key: "k"}
+	other := LockID{Scope: "m", Key: "z"}
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginReplay(3, th, gas.NewMeter(1_000_000), gas.DefaultSchedule())
+		_ = tx.Access(lock, ModeShared, 1)
+		_ = tx.Access(lock, ModeExclusive, 1) // combine -> exclusive
+		_ = tx.Access(other, ModeIncrement, 1)
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		tr := tx.TraceResult()
+		if tr.Tx != 3 || len(tr.Entries) != 2 {
+			t.Fatalf("trace = %+v", tr)
+		}
+		if tr.Entries[0].Lock != lock || tr.Entries[0].Mode != ModeExclusive {
+			t.Errorf("entry 0 = %+v, want %v exclusive", tr.Entries[0], lock)
+		}
+		if tr.Entries[1].Lock != other || tr.Entries[1].Mode != ModeIncrement {
+			t.Errorf("entry 1 = %+v", tr.Entries[1])
+		}
+	})
+}
+
+func TestTraceMatchesProfile(t *testing.T) {
+	lock := LockID{Scope: "m", Key: "k"}
+	p := Profile{Tx: 1, Entries: []ProfileEntry{{Lock: lock, Mode: ModeExclusive, Counter: 5}}}
+	good := Trace{Tx: 1, Entries: []TraceEntry{{Lock: lock, Mode: ModeExclusive}}}
+	if !good.MatchesProfile(p) {
+		t.Fatal("matching trace rejected")
+	}
+	badMode := Trace{Tx: 1, Entries: []TraceEntry{{Lock: lock, Mode: ModeShared}}}
+	if badMode.MatchesProfile(p) {
+		t.Fatal("mode mismatch accepted")
+	}
+	badLock := Trace{Tx: 1, Entries: []TraceEntry{{Lock: LockID{Scope: "m", Key: "other"}, Mode: ModeExclusive}}}
+	if badLock.MatchesProfile(p) {
+		t.Fatal("lock mismatch accepted")
+	}
+	empty := Trace{Tx: 1}
+	if empty.MatchesProfile(p) {
+		t.Fatal("missing entries accepted")
+	}
+}
+
+func TestFastPathAlreadyHeld(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	lock := LockID{Scope: "m", Key: "k"}
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		if err := tx.Access(lock, ModeExclusive, 10); err != nil {
+			t.Errorf("first access: %v", err)
+		}
+		// Re-access in any weaker/equal mode must not deadlock or re-queue.
+		if err := tx.Access(lock, ModeShared, 10); err != nil {
+			t.Errorf("re-access shared: %v", err)
+		}
+		if err := tx.Access(lock, ModeExclusive, 10); err != nil {
+			t.Errorf("re-access exclusive: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		if n := len(tx.Profile().Entries); n != 1 {
+			t.Errorf("profile entries = %d, want 1 (no duplicates)", n)
+		}
+	})
+	stats := mgr.Stats()
+	if stats.Acquisitions != 1 {
+		t.Fatalf("acquisitions = %d, want 1 (fast path must not re-acquire)", stats.Acquisitions)
+	}
+}
+
+func TestSharedUpgradeToExclusiveWhenSoleHolder(t *testing.T) {
+	mgr := NewManager(gas.DefaultSchedule())
+	lock := LockID{Scope: "m", Key: "k"}
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginSpeculative(mgr, 0, th, gas.NewMeter(1_000_000), PolicyEager)
+		if err := tx.Access(lock, ModeShared, 10); err != nil {
+			t.Errorf("shared: %v", err)
+		}
+		if err := tx.Access(lock, ModeExclusive, 10); err != nil {
+			t.Errorf("upgrade: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		if got := tx.Profile().Entries[0].Mode; got != ModeExclusive {
+			t.Errorf("profile mode = %v, want exclusive after upgrade", got)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package stm
+
+import (
+	"fmt"
+	"sort"
+
+	"contractstm/internal/gas"
+	"contractstm/internal/runtime"
+	"contractstm/internal/types"
+)
+
+// Executor is the interface through which boosted storage objects perform
+// operations. A *Tx implements it in all three kinds (speculative, serial,
+// replay), so storage and contract code is written exactly once.
+type Executor interface {
+	// Access charges cost to the gas meter, advances the executing thread's
+	// clock, and — depending on kind — acquires the abstract lock
+	// (speculative) or records it in the trace (replay). It returns
+	// ErrDeadlock if blocking would deadlock, or a gas.ErrOutOfGas-wrapping
+	// error if the meter is exhausted.
+	Access(l LockID, mode Mode, cost gas.Gas) error
+	// LogUndo registers an inverse operation; aborting or reverting the
+	// transaction replays inverses most-recent-first.
+	LogUndo(inverse func())
+	// Overlay returns the transaction-local write buffer when running
+	// speculatively under PolicyLazy, or nil when operations should be
+	// applied in place.
+	Overlay() *Overlay
+	// ChargeStep charges n units of pure computation (no lock).
+	ChargeStep(n uint64) error
+	// Thread returns the executing thread.
+	Thread() runtime.Thread
+	// Schedule returns the cost schedule in force.
+	Schedule() gas.Schedule
+}
+
+// Tx is a (possibly nested) transaction. Roots are created by Begin*;
+// children by BeginNested. A Tx must only be used from its own thread.
+type Tx struct {
+	id     types.TxID
+	kind   Kind
+	policy Policy
+	mgr    *Manager // non-nil only for KindSpeculative
+	thread runtime.Thread
+	meter  *gas.Meter
+	sched  gas.Schedule
+	status Status
+
+	parent *Tx
+	root   *Tx
+
+	// held is root-only: every abstract lock the transaction family holds,
+	// with combined modes. Owner-thread-local (the manager's lock table is
+	// the cross-thread view).
+	held map[LockID]Mode
+	// undo is this frame's inverse log.
+	undo []func()
+	// overlay is this frame's lazy write buffer (PolicyLazy only).
+	overlay *Overlay
+	// traceSeen is root-only (KindReplay): combined modes per lock.
+	traceSeen map[LockID]Mode
+	// profile is root-only: set at commit/revert of a speculative root.
+	profile Profile
+	// retries counts speculative abort-and-retry cycles (set by the miner).
+	retries int
+}
+
+var _ Executor = (*Tx)(nil)
+
+// BeginSpeculative starts a root speculative transaction against the given
+// lock manager (one manager per block).
+func BeginSpeculative(mgr *Manager, id types.TxID, th runtime.Thread, meter *gas.Meter, policy Policy) *Tx {
+	t := newRoot(KindSpeculative, id, th, meter, mgr.sched)
+	t.mgr = mgr
+	t.policy = policy
+	if policy == PolicyLazy {
+		t.overlay = NewOverlay()
+	}
+	th.Work(mgr.sched.SpecTxSetup)
+	return t
+}
+
+// BeginSerial starts a root transaction for the serial baseline: no locks,
+// no trace, but inverse logging so a throw can revert.
+func BeginSerial(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
+	return newRoot(KindSerial, id, th, meter, sched)
+}
+
+// BeginReplay starts a root transaction for the validator's deterministic
+// replay: no locks; every access is recorded in a thread-local trace.
+func BeginReplay(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
+	t := newRoot(KindReplay, id, th, meter, sched)
+	t.traceSeen = make(map[LockID]Mode)
+	return t
+}
+
+func newRoot(kind Kind, id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
+	t := &Tx{
+		id:     id,
+		kind:   kind,
+		policy: PolicyEager,
+		thread: th,
+		meter:  meter,
+		sched:  sched,
+		status: StatusActive,
+		held:   make(map[LockID]Mode),
+	}
+	t.root = t
+	return t
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() types.TxID { return t.id }
+
+// Kind returns the execution regime.
+func (t *Tx) Kind() Kind { return t.kind }
+
+// Status returns the lifecycle state.
+func (t *Tx) Status() Status { return t.status }
+
+// Thread implements Executor.
+func (t *Tx) Thread() runtime.Thread { return t.thread }
+
+// Schedule implements Executor.
+func (t *Tx) Schedule() gas.Schedule { return t.sched }
+
+// Meter returns the transaction's gas meter.
+func (t *Tx) Meter() *gas.Meter { return t.meter }
+
+// Retries reports how many speculative attempts were aborted before this
+// one; the miner maintains it across retry loops.
+func (t *Tx) Retries() int { return t.retries }
+
+// SetRetries records the retry count (miner bookkeeping).
+func (t *Tx) SetRetries(n int) { t.retries = n }
+
+// BeginNested starts a child speculative action for a nested contract call.
+// The child inherits the family's locks (they are keyed by root), keeps its
+// own inverse log and overlay, and can commit or abort independently of its
+// parent (§3).
+func (t *Tx) BeginNested() (*Tx, error) {
+	if t.status != StatusActive {
+		return nil, fmt.Errorf("begin nested under %s transaction: %w", t.status, ErrTxDone)
+	}
+	child := &Tx{
+		id:     t.id,
+		kind:   t.kind,
+		policy: t.policy,
+		mgr:    t.mgr,
+		thread: t.thread,
+		meter:  t.meter,
+		sched:  t.sched,
+		status: StatusActive,
+		parent: t,
+		root:   t.root,
+	}
+	if t.policy == PolicyLazy && t.kind == KindSpeculative {
+		child.overlay = NewOverlay()
+	}
+	return child, nil
+}
+
+// Access implements Executor. See the interface documentation.
+func (t *Tx) Access(l LockID, mode Mode, cost gas.Gas) error {
+	if t.status != StatusActive {
+		return fmt.Errorf("access %s on %s transaction: %w", l, t.status, ErrTxDone)
+	}
+	if err := t.meter.Charge(cost); err != nil {
+		return err
+	}
+	t.thread.Work(cost)
+	switch t.kind {
+	case KindSpeculative:
+		t.thread.Work(t.sched.LockOverhead)
+		root := t.root
+		if cur, held := root.held[l]; held && Combine(cur, mode) == cur {
+			return nil // fast path: already held strongly enough
+		}
+		return t.mgr.acquire(root, t.thread, l, mode)
+	case KindReplay:
+		t.thread.Work(t.sched.TraceOverhead)
+		root := t.root
+		if cur, seen := root.traceSeen[l]; seen {
+			root.traceSeen[l] = Combine(cur, mode)
+		} else {
+			root.traceSeen[l] = mode
+		}
+		return nil
+	case KindSerial:
+		return nil
+	default:
+		return fmt.Errorf("stm: unknown transaction kind %v", t.kind)
+	}
+}
+
+// LogUndo implements Executor.
+func (t *Tx) LogUndo(inverse func()) {
+	t.undo = append(t.undo, inverse)
+}
+
+// Overlay implements Executor.
+func (t *Tx) Overlay() *Overlay {
+	if t.kind == KindSpeculative && t.policy == PolicyLazy {
+		return t.overlay
+	}
+	return nil
+}
+
+// ChargeStep implements Executor: n units of pure computation.
+func (t *Tx) ChargeStep(n uint64) error {
+	if err := t.meter.Charge(gas.Gas(n) * t.sched.Step); err != nil {
+		return err
+	}
+	t.thread.Work(gas.Gas(n) * t.sched.Step)
+	return nil
+}
+
+// rollback replays this frame's inverse log most-recent-first, charging
+// undo work, and drops the frame's overlay.
+func (t *Tx) rollback() {
+	if n := len(t.undo); n > 0 {
+		t.thread.Work(t.sched.UndoPerOp * gas.Gas(n))
+		for i := n - 1; i >= 0; i-- {
+			t.undo[i]()
+		}
+	}
+	t.undo = nil
+	if t.overlay != nil {
+		t.overlay.Clear()
+	}
+}
+
+// Commit completes the transaction successfully.
+//
+// Nested: the child's inverse log is appended to the parent's and its
+// overlay merged into the parent's; inherited and newly-acquired locks stay
+// with the root (they were keyed there all along).
+//
+// Root speculative: the lazy overlay (if any) is applied to the underlying
+// storage while all locks are still held, then every held lock's use
+// counter is bumped and the profile recorded, then locks are released and
+// grantable waiters woken.
+func (t *Tx) Commit() error {
+	if t.status != StatusActive {
+		return fmt.Errorf("commit %s transaction: %w", t.status, ErrTxDone)
+	}
+	if t.parent != nil {
+		t.parent.undo = append(t.parent.undo, t.undo...)
+		t.undo = nil
+		if t.overlay != nil {
+			parentOv := t.parent.overlay
+			if parentOv == nil {
+				return fmt.Errorf("stm: lazy child committing into non-lazy parent")
+			}
+			parentOv.Merge(t.overlay)
+		}
+		t.status = StatusCommitted
+		return nil
+	}
+	if t.overlay != nil {
+		t.overlay.Apply()
+	}
+	if t.kind == KindSpeculative {
+		entries := t.mgr.releaseAll(t, t.thread, true)
+		t.profile = Profile{Tx: t.id, Entries: entries}
+	}
+	t.status = StatusCommitted
+	return nil
+}
+
+// Abort undoes the transaction's effects. For a nested action, the parent
+// stays active and — deviating from the paper, see the package comment —
+// the child's locks remain with the root. For a speculative root, all locks
+// are released without bumping use counters: the attempt leaves no mark on
+// the discovered schedule and the transaction may be retried.
+func (t *Tx) Abort() error {
+	if t.status != StatusActive {
+		return fmt.Errorf("abort %s transaction: %w", t.status, ErrTxDone)
+	}
+	t.rollback()
+	if t.parent == nil && t.kind == KindSpeculative {
+		t.mgr.releaseAll(t, t.thread, false)
+	}
+	t.status = StatusAborted
+	return nil
+}
+
+// Revert completes a transaction whose contract body threw: state effects
+// are undone, but the transaction remains part of the schedule — its locks'
+// use counters are bumped and a profile is produced — because its execution
+// observed shared state and consumed gas, and the validator will replay it.
+// Only valid on roots.
+func (t *Tx) Revert() error {
+	if t.parent != nil {
+		return fmt.Errorf("stm: Revert on nested transaction (aborting children is the caller's job)")
+	}
+	if t.status != StatusActive {
+		return fmt.Errorf("revert %s transaction: %w", t.status, ErrTxDone)
+	}
+	t.rollback()
+	if t.kind == KindSpeculative {
+		entries := t.mgr.releaseAll(t, t.thread, true)
+		t.profile = Profile{Tx: t.id, Entries: entries}
+	}
+	t.status = StatusReverted
+	return nil
+}
+
+// Profile returns the scheduling metadata registered at Commit/Revert of a
+// speculative root. Zero value otherwise.
+func (t *Tx) Profile() Profile { return t.profile }
+
+// TraceResult returns the deduplicated, sorted trace of a replay root.
+func (t *Tx) TraceResult() Trace {
+	entries := make([]TraceEntry, 0, len(t.traceSeen))
+	for l, m := range t.traceSeen {
+		entries = append(entries, TraceEntry{Lock: l, Mode: m})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Lock.Less(entries[j].Lock) })
+	return Trace{Tx: t.id, Entries: entries}
+}
+
+// HeldLocks returns a sorted snapshot of the family's held locks (tests).
+func (t *Tx) HeldLocks() []LockID {
+	out := make([]LockID, 0, len(t.root.held))
+	for l := range t.root.held {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"contractstm/internal/crypto"
+	"contractstm/internal/stm"
+)
+
+// Array is a boosted dynamically-sized array, the translation of a Solidity
+// dynamic array such as Ballot's proposals.
+//
+// Locks: element i maps to {Scope: name, Key: KeyUint(i)}; the length maps
+// to {Scope: name, Key: "#len"}. Push takes the length lock exclusively
+// (two pushes do not commute: they assign different indices) plus the new
+// element's lock; Len takes the length lock shared; element reads/writes
+// take only their element lock, so they commute with operations on other
+// indices and — importantly — with each other across indices.
+type Array struct {
+	name  string
+	id    uint64
+	store *Store
+
+	mu  sync.Mutex
+	raw []any
+}
+
+// lenLockKey is the reserved key for the length lock. Element keys are
+// 8-byte big-endian indices, so "#len" cannot collide.
+const lenLockKey = "#len"
+
+// NewArray creates a boosted array registered in s under name.
+func NewArray(s *Store, name string) (*Array, error) {
+	a := &Array{name: name, store: s}
+	id, err := s.register(name, a)
+	if err != nil {
+		return nil, err
+	}
+	a.id = id
+	return a, nil
+}
+
+// Name returns the array's lock scope.
+func (a *Array) Name() string { return a.name }
+
+func (a *Array) elemLock(i int) stm.LockID {
+	if a.store.coarse() {
+		return stm.LockID{Scope: a.name}
+	}
+	return stm.LockID{Scope: a.name, Key: KeyUint(uint64(i))}
+}
+
+func (a *Array) lenLock() stm.LockID {
+	if a.store.coarse() {
+		return stm.LockID{Scope: a.name}
+	}
+	return stm.LockID{Scope: a.name, Key: lenLockKey}
+}
+
+// Len returns the array length. Shared mode on the length lock.
+func (a *Array) Len(ex stm.Executor) (int, error) {
+	if err := ex.Access(a.lenLock(), stm.ModeShared, ex.Schedule().ArrayRead); err != nil {
+		return 0, err
+	}
+	return a.rawLen(), nil
+}
+
+// Get returns element i or ErrOutOfRange. Shared mode on the element lock.
+func (a *Array) Get(ex stm.Executor, i int) (any, error) {
+	if err := ex.Access(a.elemLock(i), stm.ModeShared, ex.Schedule().ArrayRead); err != nil {
+		return nil, err
+	}
+	if ov := ex.Overlay(); ov != nil {
+		if v, deleted, ok := ov.Get(a.overlayKey(i)); ok && !deleted {
+			return v, nil
+		}
+	}
+	v, ok := a.rawGet(i)
+	if !ok {
+		return nil, fmt.Errorf("%s[%d] with len %d: %w", a.name, i, a.rawLen(), ErrOutOfRange)
+	}
+	return v, nil
+}
+
+// Set writes element i or returns ErrOutOfRange. Exclusive mode; the
+// inverse restores the previous element.
+func (a *Array) Set(ex stm.Executor, i int, v any) error {
+	if err := ex.Access(a.elemLock(i), stm.ModeExclusive, ex.Schedule().ArrayWrite); err != nil {
+		return err
+	}
+	if i < 0 || i >= a.rawLen() {
+		return fmt.Errorf("%s[%d] with len %d: %w", a.name, i, a.rawLen(), ErrOutOfRange)
+	}
+	if ov := ex.Overlay(); ov != nil {
+		ov.Put(a.overlayKey(i), v, false, func(val any, deleted bool) {
+			a.rawSet(i, val)
+		})
+		return nil
+	}
+	prev, _ := a.rawGet(i)
+	ex.LogUndo(func() { a.rawSet(i, prev) })
+	a.rawSet(i, v)
+	return nil
+}
+
+// Push appends v and returns its index. Exclusive on the length lock and
+// the new element's lock; the inverse truncates.
+//
+// Push is deliberately not overlay-buffered: buffering appends would let two
+// lazy transactions plan the same index. Because Push holds the length lock
+// exclusively until commit, applying it in place with an inverse is
+// serializable under both policies.
+func (a *Array) Push(ex stm.Executor, v any) (int, error) {
+	if err := ex.Access(a.lenLock(), stm.ModeExclusive, ex.Schedule().ArrayPush); err != nil {
+		return 0, err
+	}
+	i := a.rawLen()
+	if err := ex.Access(a.elemLock(i), stm.ModeExclusive, ex.Schedule().ArrayWrite); err != nil {
+		return 0, err
+	}
+	ex.LogUndo(func() { a.rawTruncate(i) })
+	a.rawAppend(v)
+	return i, nil
+}
+
+// AddUint adds delta to the uint64 element at i (increment mode: concurrent
+// adds to one slot commute; inverse subtracts).
+func (a *Array) AddUint(ex stm.Executor, i int, delta uint64) error {
+	mode := a.store.incrementMode()
+	if a.store.coarse() {
+		mode = stm.ModeExclusive
+	}
+	if err := ex.Access(a.elemLock(i), mode, ex.Schedule().ArrayWrite); err != nil {
+		return err
+	}
+	cur, ok := a.rawGet(i)
+	if !ok {
+		return fmt.Errorf("%s[%d] with len %d: %w", a.name, i, a.rawLen(), ErrOutOfRange)
+	}
+	if _, isUint := cur.(uint64); !isUint {
+		return fmt.Errorf("%w: %s[%d] holds %T", ErrNotCounter, a.name, i, cur)
+	}
+	ex.LogUndo(func() { a.rawAdd(i, -int64(delta)) })
+	a.rawAdd(i, int64(delta))
+	return nil
+}
+
+// GetUint reads the uint64 element at i. Shared mode.
+func (a *Array) GetUint(ex stm.Executor, i int) (uint64, error) {
+	v, err := a.Get(ex, i)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(uint64)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s[%d] holds %T", ErrNotCounter, a.name, i, v)
+	}
+	return n, nil
+}
+
+func (a *Array) overlayKey(i int) stm.OverlayKey {
+	return stm.OverlayKey{Obj: a.id, Key: KeyUint(uint64(i))}
+}
+
+// raw accessors.
+
+func (a *Array) rawLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.raw)
+}
+
+func (a *Array) rawGet(i int) (any, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i < 0 || i >= len(a.raw) {
+		return nil, false
+	}
+	return a.raw[i], true
+}
+
+func (a *Array) rawSet(i int, v any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i >= 0 && i < len(a.raw) {
+		a.raw[i] = v
+	}
+}
+
+func (a *Array) rawAppend(v any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.raw = append(a.raw, v)
+}
+
+func (a *Array) rawTruncate(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n >= 0 && n <= len(a.raw) {
+		a.raw = a.raw[:n]
+	}
+}
+
+func (a *Array) rawAdd(i int, delta int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i < 0 || i >= len(a.raw) {
+		return
+	}
+	cur, _ := a.raw[i].(uint64)
+	a.raw[i] = uint64(int64(cur) + delta)
+}
+
+// objectName implements object.
+func (a *Array) objectName() string { return a.name }
+
+// stateEntries implements object.
+func (a *Array) stateEntries(dst []crypto.StateEntry) ([]crypto.StateEntry, error) {
+	a.mu.Lock()
+	cp := make([]any, len(a.raw))
+	copy(cp, a.raw)
+	a.mu.Unlock()
+
+	for i, v := range cp {
+		enc, err := encodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("index %d: %w", i, err)
+		}
+		dst = append(dst, crypto.StateEntry{Key: []byte(a.name + "\x00" + KeyUint(uint64(i))), Value: enc})
+	}
+	// Commit to the length so truncation is tamper-evident even for empty
+	// arrays.
+	dst = append(dst, crypto.StateEntry{
+		Key:   []byte(a.name + "\x00" + lenLockKey),
+		Value: appendUint(0x02, uint64(len(cp))),
+	})
+	return dst, nil
+}
+
+// snapshot implements object.
+func (a *Array) snapshot() any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cp := make([]any, len(a.raw))
+	copy(cp, a.raw)
+	return cp
+}
+
+// restore implements object.
+func (a *Array) restore(snap any) {
+	src := snap.([]any)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.raw = make([]any, len(src))
+	copy(a.raw, src)
+}

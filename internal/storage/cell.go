@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"contractstm/internal/crypto"
+	"contractstm/internal/stm"
+)
+
+// Cell is a boosted scalar state variable (a single Solidity field such as
+// SimpleAuction's highestBid). It has exactly one abstract lock, so any two
+// non-commuting operations on it conflict — which is precisely why the
+// paper's bidPlusOne transactions serialize.
+type Cell struct {
+	name  string
+	id    uint64
+	store *Store
+
+	mu  sync.Mutex
+	raw any
+}
+
+// NewCell creates a boosted cell registered in s under name, holding initial.
+func NewCell(s *Store, name string, initial any) (*Cell, error) {
+	c := &Cell{name: name, store: s, raw: initial}
+	id, err := s.register(name, c)
+	if err != nil {
+		return nil, err
+	}
+	c.id = id
+	return c, nil
+}
+
+// Name returns the cell's lock scope.
+func (c *Cell) Name() string { return c.name }
+
+func (c *Cell) lock() stm.LockID { return stm.LockID{Scope: c.name} }
+
+// Read returns the cell's value. Shared mode.
+func (c *Cell) Read(ex stm.Executor) (any, error) {
+	if err := ex.Access(c.lock(), stm.ModeShared, ex.Schedule().CellRead); err != nil {
+		return nil, err
+	}
+	if ov := ex.Overlay(); ov != nil {
+		if v, deleted, ok := ov.Get(c.overlayKey()); ok && !deleted {
+			return v, nil
+		}
+	}
+	return c.rawRead(), nil
+}
+
+// Write replaces the cell's value. Exclusive mode; the inverse restores the
+// previous value.
+func (c *Cell) Write(ex stm.Executor, v any) error {
+	if err := ex.Access(c.lock(), stm.ModeExclusive, ex.Schedule().CellWrite); err != nil {
+		return err
+	}
+	if ov := ex.Overlay(); ov != nil {
+		ov.Put(c.overlayKey(), v, false, func(val any, deleted bool) {
+			c.rawWrite(val)
+		})
+		return nil
+	}
+	prev := c.rawRead()
+	ex.LogUndo(func() { c.rawWrite(prev) })
+	c.rawWrite(v)
+	return nil
+}
+
+// AddUint adds delta to the cell's uint64 value. Increment mode; inverse
+// subtracts.
+func (c *Cell) AddUint(ex stm.Executor, delta uint64) error {
+	mode := c.store.incrementMode()
+	if c.store.coarse() {
+		mode = stm.ModeExclusive
+	}
+	if err := ex.Access(c.lock(), mode, ex.Schedule().CellAdd); err != nil {
+		return err
+	}
+	if _, ok := c.rawRead().(uint64); !ok {
+		return fmt.Errorf("%w: cell %s holds %T", ErrNotCounter, c.name, c.rawRead())
+	}
+	ex.LogUndo(func() { c.rawAdd(-int64(delta)) })
+	c.rawAdd(int64(delta))
+	return nil
+}
+
+// ReadUint reads the cell as a uint64 counter. Shared mode.
+func (c *Cell) ReadUint(ex stm.Executor) (uint64, error) {
+	v, err := c.Read(ex)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(uint64)
+	if !ok {
+		return 0, fmt.Errorf("%w: cell %s holds %T", ErrNotCounter, c.name, v)
+	}
+	return n, nil
+}
+
+func (c *Cell) overlayKey() stm.OverlayKey {
+	return stm.OverlayKey{Obj: c.id}
+}
+
+func (c *Cell) rawRead() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.raw
+}
+
+func (c *Cell) rawWrite(v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.raw = v
+}
+
+func (c *Cell) rawAdd(delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, _ := c.raw.(uint64)
+	c.raw = uint64(int64(cur) + delta)
+}
+
+// objectName implements object.
+func (c *Cell) objectName() string { return c.name }
+
+// stateEntries implements object.
+func (c *Cell) stateEntries(dst []crypto.StateEntry) ([]crypto.StateEntry, error) {
+	enc, err := encodeValue(c.rawRead())
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, crypto.StateEntry{Key: []byte(c.name), Value: enc}), nil
+}
+
+// snapshot implements object.
+func (c *Cell) snapshot() any { return c.rawRead() }
+
+// restore implements object.
+func (c *Cell) restore(snap any) { c.rawWrite(snap) }

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"contractstm/internal/types"
+)
+
+// Encoder lets struct values stored in boosted objects participate in state
+// commitments. Contract struct types (for example Ballot's Voter) implement
+// it with a canonical, deterministic byte encoding.
+type Encoder interface {
+	EncodeValue() []byte
+}
+
+// encodeValue canonically encodes the value kinds contracts may store:
+// nil, bool, uint64, int (non-negative), string, types.Address, types.Hash,
+// types.Amount, and any Encoder. Each encoding is tagged with a kind byte
+// so values of different types never collide.
+func encodeValue(v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return []byte{0x00}, nil
+	case bool:
+		if x {
+			return []byte{0x01, 1}, nil
+		}
+		return []byte{0x01, 0}, nil
+	case uint64:
+		return appendUint(0x02, x), nil
+	case int:
+		if x < 0 {
+			return nil, fmt.Errorf("storage: negative int value %d not supported", x)
+		}
+		return appendUint(0x03, uint64(x)), nil
+	case string:
+		out := make([]byte, 0, 1+len(x))
+		out = append(out, 0x04)
+		return append(out, x...), nil
+	case types.Address:
+		out := make([]byte, 0, 1+types.AddressLen)
+		out = append(out, 0x05)
+		return append(out, x[:]...), nil
+	case types.Hash:
+		out := make([]byte, 0, 1+types.HashLen)
+		out = append(out, 0x06)
+		return append(out, x[:]...), nil
+	case types.Amount:
+		return appendUint(0x07, uint64(x)), nil
+	case Encoder:
+		out := []byte{0x08}
+		return append(out, x.EncodeValue()...), nil
+	default:
+		return nil, fmt.Errorf("storage: cannot encode value of type %T", v)
+	}
+}
+
+func appendUint(tag byte, x uint64) []byte {
+	var buf [9]byte
+	buf[0] = tag
+	binary.BigEndian.PutUint64(buf[1:], x)
+	return buf[:]
+}
+
+// Key helpers: boosted map keys are strings; contracts use these to derive
+// canonical keys from domain types.
+
+// KeyAddr derives a map key from an address.
+func KeyAddr(a types.Address) string { return string(a[:]) }
+
+// KeyHash derives a map key from a hash.
+func KeyHash(h types.Hash) string { return string(h[:]) }
+
+// KeyUint derives a map key from an integer (big-endian, fixed width, so
+// lexicographic order equals numeric order).
+func KeyUint(n uint64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], n)
+	return string(buf[:])
+}

@@ -1,0 +1,139 @@
+// Package validator implements the paper's Algorithm 2 and §4-§5 checks:
+// compile a block's published schedule (S, H) into a deterministic
+// fork-join program, re-execute it in parallel with no locks, no conflict
+// detection and no rollback machinery, and reject the block if anything
+// diverges from what the miner published:
+//
+//   - malformed metadata: H cyclic, S not a topological order of H,
+//     commitments not matching the body;
+//   - trace mismatch: the abstract locks a transaction would have acquired
+//     differ from the miner's published profile;
+//   - data race: two conflicting lock uses unordered by H;
+//   - outcome mismatch: a transaction's receipt (reverted flag, gas used)
+//     differs from the block's;
+//   - state mismatch: the final state root differs from the header's.
+//
+// Validation is deterministic and can use any number of threads ("the
+// validator is not required to match the miner's level of parallelism").
+package validator
+
+import (
+	"errors"
+	"fmt"
+
+	"contractstm/internal/chain"
+	"contractstm/internal/contract"
+	"contractstm/internal/forkjoin"
+	"contractstm/internal/gas"
+	"contractstm/internal/runtime"
+	"contractstm/internal/sched"
+	"contractstm/internal/stm"
+	"contractstm/internal/types"
+)
+
+// ErrRejected wraps every validation failure: callers can treat any
+// wrapped error as "reject the block".
+var ErrRejected = errors.New("validator: block rejected")
+
+// Config tunes a validation run.
+type Config struct {
+	// Workers is the fork-join pool size.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Result reports a successful validation.
+type Result struct {
+	// Makespan is the run's duration in the runner's time unit.
+	Makespan uint64
+	// Receipts are the re-derived receipts (equal to the block's).
+	Receipts []contract.Receipt
+}
+
+// Validate re-executes block b against w (which must hold the parent
+// state) and verifies it end to end. On success the world has advanced to
+// the block's post-state; on rejection the world state is unspecified and
+// callers should restore a snapshot.
+func Validate(runner runtime.Runner, w *contract.World, b chain.Block, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	n := len(b.Calls)
+
+	if err := chain.VerifyCommitments(b); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	plan, graph, err := sched.ConstructValidator(n, b.Schedule)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+
+	costs := w.Schedule()
+	receipts := make([]contract.Receipt, n)
+	traces := make([]stm.Trace, n)
+
+	tasks := make([]forkjoin.Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = forkjoin.Task{
+			Preds: plan.Preds[i],
+			Run: func(th runtime.Thread) {
+				// Task setup plus one join per happens-before predecessor:
+				// the only synchronization the validator pays for (§4).
+				th.Work(costs.TaskSetup + costs.JoinOverhead*gas.Gas(len(plan.Preds[i])))
+				call := b.Calls[i]
+				id := types.TxID(i)
+				tx := stm.BeginReplay(id, th, gas.NewMeter(call.GasLimit), costs)
+				out := contract.Execute(w, tx, call)
+				receipts[i] = contract.ReceiptFor(id, out)
+				traces[i] = tx.TraceResult()
+			},
+		}
+	}
+	pool := runner
+	if cfg.Workers > 1 {
+		pool = runtime.WithStartupWork(runner, costs.PoolStartup)
+	}
+	makespan, err := forkjoin.Run(pool, cfg.Workers, tasks)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: fork-join execution: %v", ErrRejected, err)
+	}
+
+	// Trace-vs-profile comparison (§4: "the validator's VM compares the
+	// traces it generated with the lock profiles provided by the miner").
+	for i := 0; i < n; i++ {
+		if b.Profiles[i].Tx != types.TxID(i) {
+			return Result{}, fmt.Errorf("%w: profile %d labelled %s", ErrRejected, i, b.Profiles[i].Tx)
+		}
+		if !traces[i].MatchesProfile(b.Profiles[i]) {
+			return Result{}, fmt.Errorf("%w: %s trace does not match published lock profile", ErrRejected, types.TxID(i))
+		}
+	}
+	// Race check (§5: reject "if the schedule has a data race").
+	if err := sched.CheckRaces(graph, traces); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	// Outcome comparison: the block's receipts must match re-execution.
+	for i := 0; i < n; i++ {
+		got, want := receipts[i], b.Receipts[i]
+		if got.Reverted != want.Reverted || got.GasUsed != want.GasUsed || got.Tx != want.Tx {
+			return Result{}, fmt.Errorf("%w: %s receipt mismatch: re-executed %+v, block %+v",
+				ErrRejected, types.TxID(i), got, want)
+		}
+	}
+	// Final state comparison (§5: reject "if the schedule produces a final
+	// state different from the one recorded in the block").
+	root, err := w.StateRoot()
+	if err != nil {
+		return Result{}, fmt.Errorf("validator: state root: %w", err)
+	}
+	if root != b.Header.StateRoot {
+		return Result{}, fmt.Errorf("%w: final state %s != header %s",
+			ErrRejected, root.Short(), b.Header.StateRoot.Short())
+	}
+	return Result{Makespan: makespan, Receipts: receipts}, nil
+}
