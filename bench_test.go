@@ -15,6 +15,7 @@ import (
 
 	"contractstm/internal/bench"
 	"contractstm/internal/chain"
+	"contractstm/internal/engine"
 	"contractstm/internal/miner"
 	"contractstm/internal/runtime"
 	"contractstm/internal/stm"
@@ -92,6 +93,33 @@ func BenchmarkFig1(b *testing.B) {
 				})
 			}
 		})
+	}
+}
+
+// BenchmarkEngineComparison runs every paper benchmark under every
+// execution engine (serial, speculative, OCC) on the block-size sweep —
+// the extensible-substrate counterpart of Figure 1. The serial baseline is
+// shared, so the per-engine miner-x metrics are directly comparable.
+func BenchmarkEngineComparison(b *testing.B) {
+	for _, kind := range workload.Kinds() {
+		for _, ek := range engine.Kinds() {
+			kind, ek := kind, ek
+			b.Run(fmt.Sprintf("%v/%v", kind, ek), func(b *testing.B) {
+				cfg := benchCfg()
+				cfg.Engine = ek
+				for _, n := range sweepSizes(b) {
+					n := n
+					b.Run(fmt.Sprintf("tx=%d", n), func(b *testing.B) {
+						m := measurePoint(b, workload.Params{
+							Kind: kind, Transactions: n,
+							ConflictPercent: bench.SweepConflictFixed, Seed: bench.DefaultSeed,
+						}, cfg)
+						reportPoint(b, m)
+						b.ReportMetric(float64(m.Rounds), "rounds")
+					})
+				}
+			})
+		}
 	}
 }
 

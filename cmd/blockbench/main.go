@@ -9,6 +9,8 @@
 //	blockbench -table1             # only Table 1
 //	blockbench -figure1            # only Figure 1 series
 //	blockbench -appendixb          # only Appendix B times
+//	blockbench -engines            # engine comparison: serial vs speculative vs occ
+//	blockbench -engine occ         # run the sweeps with a specific engine as the miner
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
 //	blockbench -workers 3 -runs 5  # pool size and repetitions
@@ -23,6 +25,7 @@ import (
 	"os"
 
 	"contractstm/internal/bench"
+	"contractstm/internal/engine"
 	"contractstm/internal/stm"
 )
 
@@ -45,18 +48,25 @@ func run() error {
 		warmups   = flag.Int("warmups", 0, "warm-up runs per point (default: 0 sim, 3 real)")
 		mode      = flag.String("mode", "sim", `time base: "sim" (deterministic virtual time) or "real" (wall clock)`)
 		policy    = flag.String("policy", "eager", `speculative write policy: "eager" or "lazy"`)
+		engName   = flag.String("engine", "speculative", `execution engine measured as the miner: "serial", "speculative" or "occ"`)
+		engines   = flag.Bool("engines", false, "print the engine comparison (every benchmark under every engine)")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB
+	all := !*table1 && !*figure1 && !*appendixB && !*engines
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
 		Warmups:              *warmups,
 		InterferencePerMille: *interfere,
 	}
+	engKind, err := engine.ParseKind(*engName)
+	if err != nil {
+		return err
+	}
+	cfg.Engine = engKind
 	switch *mode {
 	case "sim":
 		cfg.Mode = bench.ModeSim
@@ -80,8 +90,34 @@ func run() error {
 		conflicts = []int{0, 50, 100}
 	}
 
-	fmt.Printf("blockbench: mode=%s workers=%d policy=%s sizes=%v conflicts=%v\n\n",
-		cfg.Mode, *workers, cfg.Policy, sizes, conflicts)
+	engLabel := cfg.Engine.String()
+	if *engines {
+		engLabel = "all"
+	}
+	fmt.Printf("blockbench: mode=%s workers=%d policy=%s engine=%s sizes=%v conflicts=%v\n\n",
+		cfg.Mode, *workers, cfg.Policy, engLabel, sizes, conflicts)
+
+	if *engines {
+		cmps, err := bench.RunEngineComparison(cfg, sizes, conflicts)
+		if err != nil {
+			return err
+		}
+		for _, c := range cmps {
+			bench.WriteEngineComparison(os.Stdout, c)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return fmt.Errorf("create csv: %w", err)
+			}
+			bench.WriteEngineCSV(f, cmps)
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("close csv: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+		return nil
+	}
 
 	figs, table, err := bench.RunAll(cfg, sizes, conflicts)
 	if err != nil {

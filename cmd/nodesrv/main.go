@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread]
+//	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread] [-engine serial|speculative|occ]
 //
 // Example session:
 //
@@ -29,6 +29,7 @@ import (
 
 	"contractstm/internal/contract"
 	"contractstm/internal/contracts"
+	"contractstm/internal/engine"
 	"contractstm/internal/gas"
 	"contractstm/internal/node"
 	"contractstm/internal/txpool"
@@ -47,6 +48,7 @@ func run() error {
 		addr       = flag.String("addr", ":8547", "listen address")
 		workers    = flag.Int("workers", 3, "miner/validator pool size")
 		policyName = flag.String("policy", "fifo", `block selection: "fifo" or "spread"`)
+		engName    = flag.String("engine", "speculative", `execution engine: "serial", "speculative" or "occ"`)
 	)
 	flag.Parse()
 
@@ -59,16 +61,20 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -policy %q", *policyName)
 	}
+	engKind, err := engine.ParseKind(*engName)
+	if err != nil {
+		return err
+	}
 
 	world, err := demoWorld()
 	if err != nil {
 		return err
 	}
-	n, err := node.New(node.Config{World: world, Workers: *workers, SelectionPolicy: policy})
+	n, err := node.New(node.Config{World: world, Workers: *workers, SelectionPolicy: policy, Engine: engKind})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("nodesrv listening on %s (workers=%d, policy=%s)\n", *addr, *workers, *policyName)
+	fmt.Printf("nodesrv listening on %s (workers=%d, policy=%s, engine=%s)\n", *addr, *workers, *policyName, engKind)
 	printDemoAddresses()
 	return http.ListenAndServe(*addr, n.Handler())
 }

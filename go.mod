@@ -1,0 +1,3 @@
+module contractstm
+
+go 1.22

@@ -1,0 +1,62 @@
+package bench
+
+// Benchmark smoke test: one tiny sweep per execution engine, so plain
+// `go test ./...` exercises the full measurement pipeline (generate →
+// serial baseline → engine mine → validate → speedup) under serial,
+// speculative and OCC execution without the full bench_test.go matrix.
+
+import (
+	"strings"
+	"testing"
+
+	"contractstm/internal/engine"
+	"contractstm/internal/workload"
+)
+
+func TestEngineSweepSmoke(t *testing.T) {
+	sizes := []int{10, 40}
+	for _, ek := range engine.Kinds() {
+		ek := ek
+		t.Run(ek.String(), func(t *testing.T) {
+			cfg := Config{Workers: 3, Engine: ek}
+			s, err := SweepBlockSize(workload.KindMixed, cfg, sizes)
+			if err != nil {
+				t.Fatalf("SweepBlockSize: %v", err)
+			}
+			if len(s.Points) != len(sizes) {
+				t.Fatalf("%d points for %d sizes", len(s.Points), len(sizes))
+			}
+			for i, p := range s.Points {
+				if p.MinerSpeedup <= 0 || p.ValidatorSpeedup <= 0 {
+					t.Fatalf("point %d: speedups %f/%f", i, p.MinerSpeedup, p.ValidatorSpeedup)
+				}
+				if ek == engine.KindOCC && p.Rounds < 1 {
+					t.Fatalf("point %d: OCC reported %d rounds", i, p.Rounds)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineComparisonSmoke(t *testing.T) {
+	cmp, err := SweepEnginesConflict(workload.KindBallot, Config{Workers: 3}, []int{0, 60})
+	if err != nil {
+		t.Fatalf("SweepEnginesConflict: %v", err)
+	}
+	if len(cmp.Engines) != len(engine.Kinds()) {
+		t.Fatalf("%d engine series, want %d", len(cmp.Engines), len(engine.Kinds()))
+	}
+	var sb strings.Builder
+	WriteEngineComparison(&sb, cmp)
+	out := sb.String()
+	for _, ek := range engine.Kinds() {
+		if !strings.Contains(out, ek.String()) {
+			t.Fatalf("report missing engine %v:\n%s", ek, out)
+		}
+	}
+	var csv strings.Builder
+	WriteEngineCSV(&csv, []EngineComparison{cmp})
+	if lines := strings.Count(csv.String(), "\n"); lines != 1+len(engine.Kinds())*2 {
+		t.Fatalf("engine CSV has %d lines", lines)
+	}
+}

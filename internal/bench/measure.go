@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"contractstm/internal/chain"
+	"contractstm/internal/engine"
 	"contractstm/internal/miner"
 	"contractstm/internal/runtime"
 	"contractstm/internal/sched"
@@ -73,6 +74,11 @@ type Config struct {
 	// (150) reproduces the ~0.7 parallel efficiency visible in the paper's
 	// JVM measurements; set to a negative value for ideal cores.
 	InterferencePerMille int
+	// Engine selects the block-execution engine measured as "the miner"
+	// (default speculative — the paper's Algorithm 1). The serial baseline
+	// and the validator runs are unaffected, so speedups stay comparable
+	// across engines.
+	Engine engine.Kind
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +110,9 @@ func (c Config) withDefaults() Config {
 	} else if c.InterferencePerMille < 0 {
 		c.InterferencePerMille = 0
 	}
+	if c.Engine == 0 {
+		c.Engine = engine.KindSpeculative
+	}
 	return c
 }
 
@@ -130,8 +139,12 @@ type Measurement struct {
 	// the paper's "Speedup Over Serial".
 	MinerSpeedup     float64
 	ValidatorSpeedup float64
-	// Retries counts speculative aborts in the last mining run.
+	// Retries counts discarded execution attempts in the last mining run
+	// (speculative aborts or OCC re-executions).
 	Retries int
+	// Rounds counts OCC validate-and-commit rounds in the last mining run
+	// (1 for the other engines).
+	Rounds int
 	// Edges and CriticalPath describe the last run's published schedule.
 	Edges        int
 	CriticalPath uint64
@@ -147,13 +160,18 @@ func Measure(p workload.Params, cfg Config) (Measurement, error) {
 	parent := chain.GenesisHeader(types.HashString("bench-genesis"))
 	m := Measurement{Params: p}
 
-	mcfg := miner.Config{Workers: cfg.Workers, Policy: cfg.Policy}
+	eng, err := engine.New(cfg.Engine)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %w", err)
+	}
+	mopts := engine.Options{Workers: cfg.Workers, Policy: cfg.Policy}
 	vcfg := validator.Config{Workers: cfg.Workers}
 
 	// The serial baseline mirrors the paper's: the same instrumented
 	// (speculative) code run on a single thread — "a serial miner that runs
 	// the block without parallelization" (§7.2). A single worker pays the
-	// STM bookkeeping but never waits or aborts.
+	// STM bookkeeping but never waits or aborts. It is the common
+	// denominator for every engine's speedup.
 	scfg := miner.Config{Workers: 1, Policy: cfg.Policy}
 
 	total := cfg.Warmups + cfg.Runs
@@ -167,15 +185,15 @@ func Measure(p workload.Params, cfg Config) (Measurement, error) {
 		}
 
 		wl.Reset()
-		mres, err := miner.MineParallel(cfg.runner(), wl.World, parent, wl.Calls, mcfg)
+		mres, err := miner.Mine(eng, cfg.runner(), wl.World, parent, wl.Calls, mopts)
 		if err != nil {
-			return Measurement{}, fmt.Errorf("bench: mine: %w", err)
+			return Measurement{}, fmt.Errorf("bench: mine (%v): %w", cfg.Engine, err)
 		}
 
 		wl.Reset()
 		vres, err := validator.Validate(cfg.runner(), wl.World, mres.Block, vcfg)
 		if err != nil {
-			return Measurement{}, fmt.Errorf("bench: validate: %w", err)
+			return Measurement{}, fmt.Errorf("bench: validate (%v block): %w", cfg.Engine, err)
 		}
 
 		if !measured {
@@ -185,6 +203,7 @@ func Measure(p workload.Params, cfg Config) (Measurement, error) {
 		m.MinerTime.Add(float64(mres.Makespan))
 		m.ValidatorTime.Add(float64(vres.Makespan))
 		m.Retries = mres.Stats.Retries
+		m.Rounds = mres.Stats.Rounds
 		m.Edges = mres.Graph.EdgeCount()
 		if metrics, err := sched.Metrics(mres.Graph); err == nil {
 			m.CriticalPath = metrics.CriticalPathLen

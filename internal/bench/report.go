@@ -109,6 +109,44 @@ func WriteCSV(w io.Writer, figs []Figure1) {
 	}
 }
 
+// WriteEngineComparison renders one benchmark's sweep under every engine:
+// per x value, each engine's miner speedup over the shared serial
+// baseline, plus the contention signal that explains it (retries for the
+// lock-based engine, re-execution rounds for OCC).
+func WriteEngineComparison(w io.Writer, c EngineComparison) {
+	fmt.Fprintf(w, "Engine comparison [%s]: miner speedup over %s\n", c.Kind, c.XLabel)
+	fmt.Fprintf(w, "  %-13s", c.XLabel)
+	for _, es := range c.Engines {
+		fmt.Fprintf(w, " %-24s", es.Engine)
+	}
+	fmt.Fprintln(w)
+	for i, x := range c.Xs {
+		fmt.Fprintf(w, "  %-13d", x)
+		for _, es := range c.Engines {
+			p := es.Series.Points[i]
+			fmt.Fprintf(w, " %-8s r=%-5d rnd=%-5d", speedupStr(p.MinerSpeedup), p.Retries, p.Rounds)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteEngineCSV emits every engine-comparison data point as CSV.
+func WriteEngineCSV(w io.Writer, cmps []EngineComparison) {
+	fmt.Fprintln(w, "benchmark,sweep,engine,x,serial_mean,miner_mean,miner_speedup,retries,rounds")
+	for _, c := range cmps {
+		for _, es := range c.Engines {
+			for i, x := range c.Xs {
+				p := es.Series.Points[i]
+				fmt.Fprintf(w, "%s,%s,%s,%d,%.1f,%.1f,%.4f,%d,%d\n",
+					c.Kind, c.XLabel, es.Engine, x,
+					p.SerialTime.Mean(), p.MinerTime.Mean(),
+					p.MinerSpeedup, p.Retries, p.Rounds)
+			}
+		}
+	}
+}
+
 // TimeUnit names the duration unit of a mode.
 func TimeUnit(m Mode) string {
 	if m == ModeReal {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"contractstm/internal/engine"
 	"contractstm/internal/stats"
 	"contractstm/internal/workload"
 )
@@ -153,4 +154,79 @@ func RunAll(cfg Config, sizes, percents []int) ([]Figure1, Table1, error) {
 		figs = append(figs, f)
 	}
 	return figs, BuildTable1(figs), nil
+}
+
+// EngineSeries is one engine's sweep of one benchmark: the miner speedup
+// of that engine over the shared serial baseline, per x value.
+type EngineSeries struct {
+	Engine engine.Kind
+	Series Series
+}
+
+// EngineComparison is one benchmark measured under every execution engine
+// on the same sweep axis — the extensible-substrate counterpart of the
+// paper's single-engine Figure 1.
+type EngineComparison struct {
+	Kind   workload.Kind
+	XLabel string
+	Xs     []int
+	// Engines holds one series per engine, in engine.Kinds() order.
+	Engines []EngineSeries
+}
+
+// SweepEnginesBlockSize measures one benchmark across block sizes (at the
+// paper's fixed 15% conflict) under every execution engine.
+func SweepEnginesBlockSize(kind workload.Kind, cfg Config, sizes []int) (EngineComparison, error) {
+	if sizes == nil {
+		sizes = BlockSizes
+	}
+	cmpr := EngineComparison{Kind: kind, XLabel: "transactions", Xs: sizes}
+	for _, ek := range engine.Kinds() {
+		ecfg := cfg
+		ecfg.Engine = ek
+		s, err := SweepBlockSize(kind, ecfg, sizes)
+		if err != nil {
+			return EngineComparison{}, fmt.Errorf("bench: engine %v: %w", ek, err)
+		}
+		cmpr.Engines = append(cmpr.Engines, EngineSeries{Engine: ek, Series: s})
+	}
+	return cmpr, nil
+}
+
+// SweepEnginesConflict measures one benchmark across conflict percentages
+// (at the paper's fixed 200 transactions) under every execution engine.
+func SweepEnginesConflict(kind workload.Kind, cfg Config, percents []int) (EngineComparison, error) {
+	if percents == nil {
+		percents = ConflictPercents
+	}
+	cmpr := EngineComparison{Kind: kind, XLabel: "conflict%", Xs: percents}
+	for _, ek := range engine.Kinds() {
+		ecfg := cfg
+		ecfg.Engine = ek
+		s, err := SweepConflict(kind, ecfg, percents)
+		if err != nil {
+			return EngineComparison{}, fmt.Errorf("bench: engine %v: %w", ek, err)
+		}
+		cmpr.Engines = append(cmpr.Engines, EngineSeries{Engine: ek, Series: s})
+	}
+	return cmpr, nil
+}
+
+// RunEngineComparison sweeps every benchmark under every engine on both
+// axes.
+func RunEngineComparison(cfg Config, sizes, percents []int) ([]EngineComparison, error) {
+	var out []EngineComparison
+	for _, kind := range workload.Kinds() {
+		bs, err := SweepEnginesBlockSize(kind, cfg, sizes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs)
+		cs, err := SweepEnginesConflict(kind, cfg, percents)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
 }

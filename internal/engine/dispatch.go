@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"contractstm/internal/runtime"
+)
+
+// This file is the shared work-dispatch core: a lock-free shared cursor
+// over a known-up-front work list, plus first-error capture. Both parallel
+// engines (speculative and OCC) dispatch through it, so the hot path —
+// claim an index, record a result — performs no mutex operations at all.
+
+// firstError captures the first failure reported by any worker; later
+// reports are dropped. The zero value is ready to use.
+type firstError struct {
+	p atomic.Pointer[error]
+}
+
+// set records err if it is the first one.
+func (f *firstError) set(err error) {
+	if err == nil {
+		return
+	}
+	f.p.CompareAndSwap(nil, &err)
+}
+
+// get returns the recorded error, or nil.
+func (f *firstError) get() error {
+	if p := f.p.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// runDispatch executes body(th, i) for every i in [0, n) on `workers`
+// threads of the pool. Work distribution is a lock-free shared cursor:
+// workers never block on the queue (all work is known up front), so no
+// parking protocol is needed here; blocking, if any, happens inside the
+// body (for example abstract-lock acquisition). A body error stops further
+// dispatch and is returned alongside the pool's makespan; in-flight bodies
+// still finish.
+func runDispatch(pool runtime.Runner, workers, n int, body func(th runtime.Thread, i int) error) (uint64, error) {
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var fail firstError
+	makespan, err := pool.Run(workers, func(th runtime.Thread) {
+		for {
+			if failed.Load() {
+				return
+			}
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := body(th, i); err != nil {
+				fail.set(err)
+				failed.Store(true)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return makespan, fail.get()
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/gas"
+	"contractstm/internal/runtime"
+	"contractstm/internal/sched"
+	"contractstm/internal/stm"
+	"contractstm/internal/types"
+)
+
+// SerialEngine executes the block one transaction at a time, in block
+// order, with no locks and no speculation — the paper's baseline "serial
+// miner that runs the block without parallelization". It still records
+// each transaction's would-be lock set (the validator's cheap trace
+// machinery) so it can publish a schedule: counters are assigned in block
+// order, making the serial order itself the happens-before structure. That
+// is what lets serially-mined blocks flow through the same parallel
+// validator as everything else.
+type SerialEngine struct{}
+
+var _ Engine = SerialEngine{}
+
+// Kind implements Engine.
+func (SerialEngine) Kind() Kind { return KindSerial }
+
+// ExecuteBlock implements Engine.
+func (SerialEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []contract.Call, opts Options) (Result, error) {
+	n := len(calls)
+	commitOrder := make([]int, n)
+	for i := range commitOrder {
+		commitOrder[i] = i
+	}
+	traces := make([]stm.Trace, n)
+	receipts, makespan, err := runSerialLoop(runner, w, calls, commitOrder, stm.BeginReplay,
+		func(i int, tx *stm.Tx) { traces[i] = tx.TraceResult() })
+	if err != nil {
+		return Result{}, err
+	}
+
+	profiles := profilesFromTraces(n, traces, commitOrder)
+	schedule, graph, err := sched.BuildSchedule(n, profiles)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: building schedule: %w", err)
+	}
+	res := Result{
+		Receipts: receipts,
+		Profiles: profiles,
+		Schedule: schedule,
+		Graph:    graph,
+		Makespan: makespan,
+		Stats:    Stats{Rounds: 1},
+	}
+	res.Stats.tally(receipts)
+	return res, nil
+}
+
+// OrderedRun is the outcome of RunOrdered.
+type OrderedRun struct {
+	Receipts []contract.Receipt
+	Makespan uint64
+}
+
+// RunOrdered runs calls one at a time in the order given by order (or
+// block order when order is nil), in the bare serial regime: no locks, no
+// traces, no schedule — only inverse logging so a contract throw can
+// revert its own effects. It is the reference implementation tests use to
+// check that every parallel engine is serializable, and the replay tool
+// for a published serial order S.
+func RunOrdered(runner runtime.Runner, w *contract.World, calls []contract.Call, order []types.TxID) (OrderedRun, error) {
+	idx := make([]int, 0, len(calls))
+	if order == nil {
+		for i := range calls {
+			idx = append(idx, i)
+		}
+	} else {
+		if len(order) != len(calls) {
+			return OrderedRun{}, fmt.Errorf("engine: order has %d entries for %d calls", len(order), len(calls))
+		}
+		for _, tx := range order {
+			if int(tx) >= len(calls) {
+				return OrderedRun{}, fmt.Errorf("engine: order entry %s out of range", tx)
+			}
+			idx = append(idx, int(tx))
+		}
+	}
+	receipts, makespan, err := runSerialLoop(runner, w, calls, idx, stm.BeginSerial, nil)
+	if err != nil {
+		return OrderedRun{}, err
+	}
+	return OrderedRun{Receipts: receipts, Makespan: makespan}, nil
+}
+
+// runSerialLoop is the one serial execution loop: run calls[idx...] in
+// order on a single thread, beginning each transaction via begin and
+// invoking after (if non-nil) on the settled transaction.
+func runSerialLoop(
+	runner runtime.Runner, w *contract.World, calls []contract.Call, idx []int,
+	begin func(types.TxID, runtime.Thread, *gas.Meter, gas.Schedule) *stm.Tx,
+	after func(i int, tx *stm.Tx),
+) ([]contract.Receipt, uint64, error) {
+	receipts := make([]contract.Receipt, len(calls))
+	makespan, err := runner.Run(1, func(th runtime.Thread) {
+		for _, i := range idx {
+			call := calls[i]
+			id := types.TxID(i)
+			tx := begin(id, th, gas.NewMeter(call.GasLimit), w.Schedule())
+			out := contract.Execute(w, tx, call)
+			if out.Kind == contract.OutcomeRetry {
+				// Serial transactions cannot conflict; a retry here is a bug.
+				panic(fmt.Sprintf("engine: serial execution of %s demanded retry: %s", id, out.Reason))
+			}
+			receipts[i] = contract.ReceiptFor(id, out)
+			if after != nil {
+				after(i, tx)
+			}
+		}
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("engine: serial run: %w", err)
+	}
+	return receipts, makespan, nil
+}

@@ -55,6 +55,15 @@ type Schedule struct {
 	// cheaper than LockOverhead because it needs no inter-thread
 	// synchronization.
 	TraceOverhead Gas
+	// OCCOverhead models the OCC regime's per-access cost: read/write-set
+	// bookkeeping plus overlay buffering. It is thread-local (no
+	// inter-thread synchronization), so it sits between TraceOverhead and
+	// LockOverhead.
+	OCCOverhead Gas
+	// OCCValidate models the OCC commit round's per-entry cost: checking
+	// one read/write-set entry against the sets committed earlier in the
+	// round.
+	OCCValidate Gas
 	// SpecTxSetup is the per-transaction cost of starting a speculative
 	// action (transaction descriptor, log setup).
 	SpecTxSetup Gas
@@ -87,6 +96,8 @@ func DefaultSchedule() Schedule {
 		Call:          70,
 		LockOverhead:  32,
 		TraceOverhead: 2,
+		OCCOverhead:   8,
+		OCCValidate:   3,
 		SpecTxSetup:   90,
 		TaskSetup:     10,
 		JoinOverhead:  8,

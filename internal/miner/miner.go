@@ -1,21 +1,23 @@
-// Package miner implements the paper's Algorithm 1, MineInParallel: execute
-// a block's transactions speculatively in parallel as atomic actions,
-// resolving conflicts by blocking on abstract locks and by aborting and
-// retrying deadlock victims; then derive the happens-before graph H from
-// the committed lock profiles, topologically sort it into the serial order
-// S, and publish (S, H, profiles) in the block for deterministic parallel
-// validation.
+// Package miner seals blocks: it hands a block's calls to a pluggable
+// execution engine (internal/engine) and packages the engine's result —
+// receipts, the derived serial order S, the happens-before graph H and the
+// per-transaction lock profiles — into a sealed block for publication
+// (§4: "A miner includes these profiles in the blockchain along with usual
+// information").
 //
-// It also provides the serial baseline miner used by the paper's
-// evaluation as the speedup denominator.
+// The execution strategies themselves live in internal/engine: the paper's
+// Algorithm 1 (speculative mining) is engine.SpeculativeEngine, the serial
+// baseline is engine.SerialEngine, and the Block-STM-style optimistic
+// batch strategy is engine.OCCEngine. MineParallel and ExecuteSerial
+// remain as the historical entry points over those engines.
 package miner
 
 import (
 	"fmt"
-	"sync"
 
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
+	"contractstm/internal/engine"
 	"contractstm/internal/gas"
 	"contractstm/internal/runtime"
 	"contractstm/internal/sched"
@@ -40,40 +42,23 @@ type Config struct {
 
 // DefaultMaxRetries bounds retry loops; deadlock victims release all locks
 // before retrying, so progress only requires modest patience.
-const DefaultMaxRetries = 1000
+const DefaultMaxRetries = engine.DefaultMaxRetries
 
 // DefaultRetryBackoff is the default per-attempt backoff work.
-const DefaultRetryBackoff gas.Gas = 50
+const DefaultRetryBackoff = engine.DefaultRetryBackoff
 
-func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
-		c.Workers = 1
+// options converts the miner config into engine options.
+func (c Config) options() engine.Options {
+	return engine.Options{
+		Workers:      c.Workers,
+		Policy:       c.Policy,
+		MaxRetries:   c.MaxRetries,
+		RetryBackoff: c.RetryBackoff,
 	}
-	if c.Policy == 0 {
-		c.Policy = stm.PolicyEager
-	}
-	if c.MaxRetries <= 0 {
-		c.MaxRetries = DefaultMaxRetries
-	}
-	if c.RetryBackoff == 0 {
-		c.RetryBackoff = DefaultRetryBackoff
-	}
-	return c
 }
 
-// Stats aggregates a run's speculation behaviour.
-type Stats struct {
-	// Retries counts aborted speculative attempts (deadlock victims).
-	Retries int
-	// RetriedTxs lists the transactions that needed at least one retry;
-	// transaction pools use this as conflict feedback (§7.3).
-	RetriedTxs []types.TxID
-	// Committed and Reverted count final transaction outcomes.
-	Committed int
-	Reverted  int
-	// LockStats echoes the lock manager's counters.
-	LockStats stm.Stats
-}
+// Stats aggregates a run's execution behaviour (see engine.Stats).
+type Stats = engine.Stats
 
 // Result is a completed mining run.
 type Result struct {
@@ -82,118 +67,33 @@ type Result struct {
 	// Makespan is the run's duration in the runner's time unit (virtual
 	// gas-time for SimRunner, nanoseconds for OSRunner).
 	Makespan uint64
-	// Stats aggregates speculation counters.
+	// Stats aggregates execution counters.
 	Stats Stats
 	// Graph is the derived happens-before graph (diagnostics; the block
 	// carries its edge list).
 	Graph *sched.Graph
 }
 
-// MineParallel executes calls speculatively on cfg.Workers threads and
-// seals a block on top of parent. The world must be at parent's state; on
-// success it has advanced to the block's post-state.
-func MineParallel(runner runtime.Runner, w *contract.World, parent chain.Header, calls []contract.Call, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	n := len(calls)
-	mgr := stm.NewManager(w.Schedule())
-
-	receipts := make([]contract.Receipt, n)
-	profiles := make([]stm.Profile, n)
-	var stats Stats
-	var statsMu sync.Mutex
-
-	// Work distribution: a shared cursor over the block's calls. Workers
-	// never block on the queue (all work is known up front), so no parking
-	// protocol is needed here; blocking happens only inside abstract-lock
-	// acquisition.
-	var next int
-	var nextMu sync.Mutex
-	take := func() (int, bool) {
-		nextMu.Lock()
-		defer nextMu.Unlock()
-		if next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-
-	var failure error
-	var failureMu sync.Mutex
-	setFailure := func(err error) {
-		failureMu.Lock()
-		defer failureMu.Unlock()
-		if failure == nil {
-			failure = err
-		}
-	}
-
-	// Parallel pools pay dispatch latency; the single-threaded baseline
-	// does not (the paper's serial miner runs in-line, not on a pool).
-	pool := runner
-	if cfg.Workers > 1 {
-		pool = runtime.WithStartupWork(runner, w.Schedule().PoolStartup)
-	}
-	makespan, err := pool.Run(cfg.Workers, func(th runtime.Thread) {
-		for {
-			i, ok := take()
-			if !ok {
-				return
-			}
-			call := calls[i]
-			id := types.TxID(i)
-			attempt := 0
-			for {
-				tx := stm.BeginSpeculative(mgr, id, th, gas.NewMeter(call.GasLimit), cfg.Policy)
-				tx.SetRetries(attempt)
-				out := contract.Execute(w, tx, call)
-				if out.Kind == contract.OutcomeRetry {
-					attempt++
-					statsMu.Lock()
-					stats.Retries++
-					statsMu.Unlock()
-					if attempt > cfg.MaxRetries {
-						setFailure(fmt.Errorf("miner: %s exceeded %d retries: %s", id, cfg.MaxRetries, out.Reason))
-						return
-					}
-					th.Work(cfg.RetryBackoff * gas.Gas(attempt))
-					continue
-				}
-				receipts[i] = contract.ReceiptFor(id, out)
-				profiles[i] = tx.Profile()
-				statsMu.Lock()
-				if attempt > 0 {
-					stats.RetriedTxs = append(stats.RetriedTxs, id)
-				}
-				if out.Kind == contract.OutcomeReverted {
-					stats.Reverted++
-				} else {
-					stats.Committed++
-				}
-				statsMu.Unlock()
-				break
-			}
-		}
-	})
+// Mine executes calls with the given engine and seals a block on top of
+// parent. The world must be at parent's state; on success it has advanced
+// to the block's post-state.
+func Mine(eng engine.Engine, runner runtime.Runner, w *contract.World, parent chain.Header, calls []contract.Call, opts engine.Options) (Result, error) {
+	res, err := eng.ExecuteBlock(runner, w, calls, opts)
 	if err != nil {
-		return Result{}, fmt.Errorf("miner: worker pool: %w", err)
-	}
-	if failure != nil {
-		return Result{}, failure
-	}
-	stats.LockStats = mgr.Stats()
-
-	schedule, graph, err := sched.BuildSchedule(n, profiles)
-	if err != nil {
-		return Result{}, fmt.Errorf("miner: building schedule: %w", err)
+		return Result{}, fmt.Errorf("miner: %w", err)
 	}
 	stateRoot, err := w.StateRoot()
 	if err != nil {
 		return Result{}, fmt.Errorf("miner: state root: %w", err)
 	}
-	block := chain.Seal(parent, calls, receipts, schedule, profiles, stateRoot)
-	return Result{Block: block, Makespan: makespan, Stats: stats, Graph: graph}, nil
+	block := chain.Seal(parent, calls, res.Receipts, res.Schedule, res.Profiles, stateRoot)
+	return Result{Block: block, Makespan: res.Makespan, Stats: res.Stats, Graph: res.Graph}, nil
+}
+
+// MineParallel executes calls speculatively on cfg.Workers threads and
+// seals a block on top of parent — the paper's Algorithm 1 entry point.
+func MineParallel(runner runtime.Runner, w *contract.World, parent chain.Header, calls []contract.Call, cfg Config) (Result, error) {
+	return Mine(engine.SpeculativeEngine{}, runner, w, parent, calls, cfg.options())
 }
 
 // SerialResult is a serial execution's outcome.
@@ -208,44 +108,15 @@ type SerialResult struct {
 // block order when order is nil), with no locks and no speculation — the
 // paper's baseline "serial miner that runs the block without
 // parallelization". It is also the reference implementation used by tests
-// to check that speculative mining is serializable.
+// to check that parallel engines are serializable.
 func ExecuteSerial(runner runtime.Runner, w *contract.World, calls []contract.Call, order []types.TxID) (SerialResult, error) {
-	idx := make([]int, 0, len(calls))
-	if order == nil {
-		for i := range calls {
-			idx = append(idx, i)
-		}
-	} else {
-		if len(order) != len(calls) {
-			return SerialResult{}, fmt.Errorf("miner: order has %d entries for %d calls", len(order), len(calls))
-		}
-		for _, tx := range order {
-			if int(tx) >= len(calls) {
-				return SerialResult{}, fmt.Errorf("miner: order entry %s out of range", tx)
-			}
-			idx = append(idx, int(tx))
-		}
-	}
-	receipts := make([]contract.Receipt, len(calls))
-	makespan, err := runner.Run(1, func(th runtime.Thread) {
-		for _, i := range idx {
-			call := calls[i]
-			id := types.TxID(i)
-			tx := stm.BeginSerial(id, th, gas.NewMeter(call.GasLimit), w.Schedule())
-			out := contract.Execute(w, tx, call)
-			if out.Kind == contract.OutcomeRetry {
-				// Serial transactions cannot conflict; a retry here is a bug.
-				panic(fmt.Sprintf("miner: serial execution of %s demanded retry: %s", id, out.Reason))
-			}
-			receipts[i] = contract.ReceiptFor(id, out)
-		}
-	})
+	run, err := engine.RunOrdered(runner, w, calls, order)
 	if err != nil {
-		return SerialResult{}, fmt.Errorf("miner: serial run: %w", err)
+		return SerialResult{}, fmt.Errorf("miner: %w", err)
 	}
 	root, err := w.StateRoot()
 	if err != nil {
 		return SerialResult{}, fmt.Errorf("miner: state root: %w", err)
 	}
-	return SerialResult{Receipts: receipts, Makespan: makespan, StateRoot: root}, nil
+	return SerialResult{Receipts: run.Receipts, Makespan: run.Makespan, StateRoot: root}, nil
 }

@@ -1,0 +1,88 @@
+package node
+
+// Engine interop at the node layer: a miner node running any execution
+// engine must produce blocks that a plain validator node (which knows
+// nothing about engines) accepts over the block-transfer path.
+
+import (
+	"testing"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/contracts"
+	"contractstm/internal/engine"
+	"contractstm/internal/gas"
+	"contractstm/internal/runtime"
+	"contractstm/internal/types"
+)
+
+// engineWorld builds one deterministic token world for engine tests.
+func engineWorld(t *testing.T) (*contract.World, []contract.Call) {
+	t.Helper()
+	w, err := contract.NewWorld(gas.DefaultSchedule())
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	addr := types.AddressFromUint64(0x70CE)
+	issuer := types.AddressFromUint64(0x1551)
+	token, err := contracts.NewToken(w, addr, issuer, 1_000_000)
+	if err != nil {
+		t.Fatalf("NewToken: %v", err)
+	}
+	var calls []contract.Call
+	for i := 0; i < 24; i++ {
+		from := types.AddressFromUint64(0xA000 + uint64(i))
+		if err := token.SeedBalance(w, from, 500); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+		calls = append(calls, contract.Call{
+			Sender: from, Contract: addr, Function: "transfer",
+			Args: []any{types.AddressFromUint64(0xB000 + uint64(i)), uint64(5)}, GasLimit: 100_000,
+		})
+	}
+	return w, calls
+}
+
+func TestNodeEnginesInterop(t *testing.T) {
+	for _, ek := range engine.Kinds() {
+		ek := ek
+		t.Run(ek.String(), func(t *testing.T) {
+			mw, calls := engineWorld(t)
+			vw, _ := engineWorld(t)
+
+			minerNode, err := New(Config{World: mw, Workers: 3, Runner: runtime.NewSimRunner(), Engine: ek})
+			if err != nil {
+				t.Fatalf("miner node: %v", err)
+			}
+			// The validator node keeps the default engine: validation is
+			// engine-agnostic by construction.
+			validatorNode, err := New(Config{World: vw, Workers: 3, Runner: runtime.NewSimRunner()})
+			if err != nil {
+				t.Fatalf("validator node: %v", err)
+			}
+
+			for _, c := range calls {
+				minerNode.Submit(c)
+			}
+			block, err := minerNode.MineOne(len(calls))
+			if err != nil {
+				t.Fatalf("MineOne: %v", err)
+			}
+			if err := validatorNode.AcceptBlock(block); err != nil {
+				t.Fatalf("validator rejected %v-engine block: %v", ek, err)
+			}
+			if got := minerNode.CurrentStatus().Engine; got != ek.String() {
+				t.Fatalf("status engine = %q, want %q", got, ek)
+			}
+			if minerNode.Height() != 1 || validatorNode.Height() != 1 {
+				t.Fatalf("heights = %d/%d, want 1/1", minerNode.Height(), validatorNode.Height())
+			}
+		})
+	}
+}
+
+func TestNodeRejectsUnknownEngine(t *testing.T) {
+	w, _ := engineWorld(t)
+	if _, err := New(Config{World: w, Engine: engine.Kind(99)}); err == nil {
+		t.Fatal("New accepted an unknown engine kind")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
+	"contractstm/internal/engine"
 	"contractstm/internal/gas"
 	"contractstm/internal/miner"
 	"contractstm/internal/runtime"
@@ -48,17 +49,26 @@ type Config struct {
 	Runner runtime.Runner
 	// SelectionPolicy picks block transactions from the pool.
 	SelectionPolicy txpool.Policy
+	// Engine selects the block-execution strategy (default speculative).
+	Engine engine.Kind
 }
 
 // Node is a single in-process blockchain node.
 type Node struct {
-	mu      sync.Mutex
+	// mu guards the bookkeeping state: chain, pool interactions tied to
+	// chain state, and counters. It is never held across a block
+	// execution, so status queries stay responsive while a block mines.
+	mu sync.Mutex
+	// execMu serializes world-mutating block work (mining and foreign-
+	// block validation): the world advances one block at a time.
+	execMu  sync.Mutex
 	world   *contract.World
 	chain   *chain.Chain
 	pool    *txpool.Pool
 	workers int
 	runner  runtime.Runner
 	policy  txpool.Policy
+	eng     engine.Engine
 	// stats
 	minedBlocks     int
 	validatedBlocks int
@@ -79,6 +89,13 @@ func New(cfg Config) (*Node, error) {
 	if cfg.SelectionPolicy == 0 {
 		cfg.SelectionPolicy = txpool.PolicyFIFO
 	}
+	if cfg.Engine == 0 {
+		cfg.Engine = engine.KindSpeculative
+	}
+	eng, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
 	root, err := cfg.World.StateRoot()
 	if err != nil {
 		return nil, fmt.Errorf("node: state root: %w", err)
@@ -90,6 +107,7 @@ func New(cfg Config) (*Node, error) {
 		workers: cfg.Workers,
 		runner:  cfg.Runner,
 		policy:  cfg.SelectionPolicy,
+		eng:     eng,
 	}, nil
 }
 
@@ -110,23 +128,37 @@ func (n *Node) Head() chain.Block { return n.chain.Head() }
 // BlockAt returns a block by height.
 func (n *Node) BlockAt(h uint64) (chain.Block, bool) { return n.chain.BlockAt(h) }
 
-// MineOne selects up to blockSize transactions, mines them speculatively
-// in parallel, appends the block and reports conflict feedback to the
+// MineOne selects up to blockSize transactions, executes them with the
+// node's engine, appends the block and reports conflict feedback to the
 // pool. It returns the sealed block.
+//
+// Locking: execMu serializes the world mutation end to end, but n.mu is
+// only taken for the short bookkeeping sections (selection against the
+// current head, then seal-and-append), never across the execution itself.
 func (n *Node) MineOne(blockSize int) (chain.Block, error) {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	calls, err := n.pool.Select(n.policy, blockSize)
+	parent := n.chain.Head().Header
+	n.mu.Unlock()
 	if err != nil {
 		return chain.Block{}, fmt.Errorf("node: select: %w", err)
 	}
+
+	// Snapshot the world, execute outside n.mu, seal/append under it.
+	// execMu guarantees the parent header cannot move underneath us.
 	snap := n.world.Snapshot()
-	res, err := miner.MineParallel(n.runner, n.world, n.chain.Head().Header, calls,
-		miner.Config{Workers: n.workers})
+	res, err := miner.Mine(n.eng, n.runner, n.world, parent, calls,
+		engine.Options{Workers: n.workers})
 	if err != nil {
 		n.world.Restore(snap)
 		return chain.Block{}, fmt.Errorf("node: mine: %w", err)
 	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if err := n.chain.Append(res.Block); err != nil {
 		n.world.Restore(snap)
 		return chain.Block{}, fmt.Errorf("node: append: %w", err)
@@ -143,15 +175,20 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 
 // AcceptBlock validates a foreign block against the node's state and
 // appends it — the validator-node path. On rejection the world state is
-// restored.
+// restored. Like MineOne, it holds execMu (not n.mu) across the
+// validation execution.
 func (n *Node) AcceptBlock(b chain.Block) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+
 	snap := n.world.Snapshot()
 	if _, err := validator.Validate(n.runner, n.world, b, validator.Config{Workers: n.workers}); err != nil {
 		n.world.Restore(snap)
 		return fmt.Errorf("node: %w", err)
 	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if err := n.chain.Append(b); err != nil {
 		n.world.Restore(snap)
 		return fmt.Errorf("node: append: %w", err)
@@ -165,12 +202,14 @@ type Status struct {
 	Height          uint64     `json:"height"`
 	HeadHash        types.Hash `json:"headHash"`
 	PoolLen         int        `json:"poolLen"`
+	Engine          string     `json:"engine"`
 	MinedBlocks     int        `json:"minedBlocks"`
 	ValidatedBlocks int        `json:"validatedBlocks"`
 	TotalRetries    int        `json:"totalRetries"`
 }
 
-// CurrentStatus snapshots node statistics.
+// CurrentStatus snapshots node statistics. It never blocks behind an
+// in-flight block execution (see MineOne's locking discipline).
 func (n *Node) CurrentStatus() Status {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -179,6 +218,7 @@ func (n *Node) CurrentStatus() Status {
 		Height:          head.Header.Number,
 		HeadHash:        head.Header.Hash(),
 		PoolLen:         n.pool.Len(),
+		Engine:          n.eng.Kind().String(),
 		MinedBlocks:     n.minedBlocks,
 		ValidatedBlocks: n.validatedBlocks,
 		TotalRetries:    n.totalRetries,

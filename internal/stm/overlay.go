@@ -2,19 +2,42 @@ package stm
 
 import "sort"
 
-// Overlay is a transaction-local write buffer used by PolicyLazy: instead of
-// mutating boosted storage in place and logging inverses, writes land here
-// and are applied to the underlying object at commit, while reads consult
-// the overlay first (read-your-writes). Aborting a lazy transaction simply
-// discards the overlay — no inverse replay needed.
+// Overlay is a transaction-local write buffer used by PolicyLazy and by the
+// OCC execution regime: instead of mutating boosted storage in place and
+// logging inverses, writes land here and are applied to the underlying
+// object at commit, while reads consult the overlay first
+// (read-your-writes). Aborting a buffered transaction simply discards the
+// overlay — no inverse replay needed.
 //
 // Keys are (object id, key) pairs; object ids are allocated by the storage
 // layer (one per boosted object). Each entry carries an apply closure bound
 // to its object so the overlay itself stays storage-agnostic.
 //
+// Entries come in two flavours:
+//
+//   - absolute entries (Put): the final buffered value (or delete) wins;
+//   - delta entries (Add): accumulated commutative int64 deltas, applied
+//     with a delta closure. Buffering deltas rather than absolute values is
+//     what keeps increment-mode operations commutative across transactions
+//     that buffer concurrently.
+//
+// Nested frames chain: a child frame's reads fall through to its ancestor
+// frames (a nested action must see its parent's buffered writes), while
+// its writes stay local until Merge at child commit — so aborting the
+// child discards exactly the child's effects.
+//
 // Overlay is owner-thread-local and needs no locking.
 type Overlay struct {
 	entries map[OverlayKey]*overlayEntry
+	// parent is the enclosing frame's overlay (nil for a root frame);
+	// lookups walk the chain newest-frame-first.
+	parent *Overlay
+	// isolated marks an OCC overlay: the transaction runs with no abstract
+	// locks, so *every* mutation — including increments and appends, which
+	// the lazy mining policy applies in place under lock protection — must
+	// be buffered here to keep the round's execution read-only on shared
+	// state.
+	isolated bool
 }
 
 // OverlayKey addresses one semantic unit of one boosted object.
@@ -27,47 +50,148 @@ type overlayEntry struct {
 	val     any
 	deleted bool
 	apply   func(val any, deleted bool)
+	// delta entries: isDelta set, delta accumulated, applyDelta bound.
+	isDelta    bool
+	delta      int64
+	applyDelta func(delta int64)
 }
 
-// NewOverlay returns an empty overlay.
+// NewOverlay returns an empty overlay for the lazy write policy.
 func NewOverlay() *Overlay {
 	return &Overlay{entries: make(map[OverlayKey]*overlayEntry)}
 }
 
+// NewIsolatedOverlay returns an empty overlay for the OCC regime; see the
+// isolated field.
+func NewIsolatedOverlay() *Overlay {
+	return &Overlay{entries: make(map[OverlayKey]*overlayEntry), isolated: true}
+}
+
+// NewChildOverlay returns an empty overlay for a nested frame of parent:
+// reads fall through to the parent chain, writes stay local until Merge.
+// The child inherits the parent's isolation regime.
+func NewChildOverlay(parent *Overlay) *Overlay {
+	return &Overlay{
+		entries:  make(map[OverlayKey]*overlayEntry),
+		parent:   parent,
+		isolated: parent.isolated,
+	}
+}
+
+// Isolated reports whether this overlay must buffer every mutation (OCC),
+// rather than only the operations the lazy policy buffers.
+func (o *Overlay) Isolated() bool { return o.isolated }
+
+// lookup resolves key across the frame chain, newest frame first. Deltas
+// buffered in frames newer than the nearest absolute entry fold on top of
+// it (they happened after the write); frames older than an absolute entry
+// are overwritten by it. With no absolute entry anywhere, the accumulated
+// delta applies to the underlying raw value.
+func (o *Overlay) lookup(key OverlayKey) (val any, deleted bool, delta int64, hasAbs, hasDelta bool) {
+	for f := o; f != nil; f = f.parent {
+		e, ok := f.entries[key]
+		if !ok {
+			continue
+		}
+		if e.isDelta {
+			delta += e.delta
+			hasDelta = true
+			continue
+		}
+		if delta != 0 {
+			// Deltas are only buffered against verified uint64 counters;
+			// a buffered delete counts as zero (canonical-zero convention).
+			cur, _ := e.val.(uint64)
+			if e.deleted {
+				cur = 0
+			}
+			return uint64(int64(cur) + delta), false, 0, true, hasDelta
+		}
+		return e.val, e.deleted, 0, true, hasDelta
+	}
+	return nil, false, delta, false, hasDelta
+}
+
 // Put buffers a write (or delete) of key. apply is invoked at commit with
-// the final buffered value; later Puts to the same key replace earlier ones.
+// the final buffered value; later Puts to the same key replace earlier ones,
+// including any accumulated delta (a write overwrites prior increments).
 func (o *Overlay) Put(key OverlayKey, val any, deleted bool, apply func(val any, deleted bool)) {
 	if e, ok := o.entries[key]; ok {
 		e.val, e.deleted, e.apply = val, deleted, apply
+		e.isDelta, e.delta, e.applyDelta = false, 0, nil
 		return
 	}
 	o.entries[key] = &overlayEntry{val: val, deleted: deleted, apply: apply}
 }
 
-// Get returns the buffered value for key, if any. deleted reports a
-// buffered delete.
+// Add buffers a commutative int64 delta against the uint64 counter at key.
+// Deltas accumulate; a delta arriving after an absolute Put folds into the
+// buffered value instead (read-your-writes for increments after writes).
+// applyDelta is invoked at commit with the accumulated delta.
+func (o *Overlay) Add(key OverlayKey, delta int64, applyDelta func(delta int64)) {
+	e, ok := o.entries[key]
+	if !ok {
+		o.entries[key] = &overlayEntry{isDelta: true, delta: delta, applyDelta: applyDelta}
+		return
+	}
+	if e.isDelta {
+		e.delta += delta
+		e.applyDelta = applyDelta
+		return
+	}
+	// Fold into the buffered absolute value. Callers verify the slot holds
+	// a uint64 counter before buffering a delta; a buffered delete counts
+	// as zero (the storage layer's canonical-zero convention).
+	cur, _ := e.val.(uint64)
+	if e.deleted {
+		cur = 0
+	}
+	e.val, e.deleted = uint64(int64(cur)+delta), false
+}
+
+// Get returns the effective buffered absolute value for key across the
+// frame chain, if any frame buffered one (newer deltas folded in).
+// deleted reports a buffered delete. Pure delta state is not visible
+// here — use Delta.
 func (o *Overlay) Get(key OverlayKey) (val any, deleted, ok bool) {
-	e, found := o.entries[key]
-	if !found {
+	v, del, _, hasAbs, _ := o.lookup(key)
+	if !hasAbs {
 		return nil, false, false
 	}
-	return e.val, e.deleted, true
+	return v, del, true
+}
+
+// Delta returns the total delta buffered against key across the frame
+// chain when no frame holds an absolute entry for it.
+func (o *Overlay) Delta(key OverlayKey) (int64, bool) {
+	_, _, d, hasAbs, hasDelta := o.lookup(key)
+	if hasAbs || !hasDelta {
+		return 0, false
+	}
+	return d, true
 }
 
 // Len reports the number of buffered entries.
 func (o *Overlay) Len() int { return len(o.entries) }
 
 // Merge folds a committing child overlay into this one; the child's entries
-// win on key collisions (the child executed later).
+// win on key collisions (the child executed later), except that child
+// deltas accumulate into parent deltas or fold into parent absolute values.
 func (o *Overlay) Merge(child *Overlay) {
 	for k, e := range child.entries {
+		if e.isDelta {
+			o.Add(k, e.delta, e.applyDelta)
+			continue
+		}
 		o.entries[k] = e
 	}
 }
 
 // Apply writes every buffered entry to its underlying object, in
-// deterministic (object id, key) order, then clears the overlay. The caller
-// must still hold the transaction's abstract locks.
+// deterministic (object id, key) order, then clears the overlay. For lazy
+// speculative transactions the caller must still hold the transaction's
+// abstract locks; for OCC transactions the engine's commit round provides
+// the required mutual exclusion.
 func (o *Overlay) Apply() {
 	keys := make([]OverlayKey, 0, len(o.entries))
 	for k := range o.entries {
@@ -81,6 +205,10 @@ func (o *Overlay) Apply() {
 	})
 	for _, k := range keys {
 		e := o.entries[k]
+		if e.isDelta {
+			e.applyDelta(e.delta)
+			continue
+		}
 		e.apply(e.val, e.deleted)
 	}
 	o.Clear()

@@ -131,6 +131,13 @@ const (
 	// records the (lock, mode) pairs the transaction would have acquired,
 	// for comparison against the miner's published profile.
 	KindReplay
+	// KindOCC is the optimistic batch regime (Block-STM style): no locks
+	// and no blocking. Every write lands in an isolated per-transaction
+	// overlay, every access is recorded in a thread-local read/write set
+	// (the same trace machinery KindReplay uses), and the engine decides
+	// after a validate round whether to apply the buffered writes or
+	// discard the attempt and re-execute.
+	KindOCC
 )
 
 // String implements fmt.Stringer.
@@ -142,6 +149,8 @@ func (k Kind) String() string {
 		return "serial"
 	case KindReplay:
 		return "replay"
+	case KindOCC:
+		return "occ"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -94,6 +94,19 @@ func BeginReplay(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.S
 	return t
 }
 
+// BeginOCC starts a root transaction for the optimistic batch regime: no
+// locks, writes buffered in an isolated overlay, accesses recorded in a
+// thread-local read/write set. Commit does NOT apply the overlay — the OCC
+// engine validates the attempt against concurrently committed transactions
+// first and then applies PendingWrites itself (or discards the attempt).
+func BeginOCC(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
+	t := newRoot(KindOCC, id, th, meter, sched)
+	t.traceSeen = make(map[LockID]Mode)
+	t.overlay = NewIsolatedOverlay()
+	th.Work(sched.SpecTxSetup)
+	return t
+}
+
 func newRoot(kind Kind, id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
 	t := &Tx{
 		id:     id,
@@ -154,8 +167,11 @@ func (t *Tx) BeginNested() (*Tx, error) {
 		parent: t,
 		root:   t.root,
 	}
-	if t.policy == PolicyLazy && t.kind == KindSpeculative {
-		child.overlay = NewOverlay()
+	if (t.policy == PolicyLazy && t.kind == KindSpeculative) || t.kind == KindOCC {
+		// The child frame chains to the parent's overlay so nested reads
+		// see the ancestors' buffered writes; child writes stay local
+		// until commit-time Merge.
+		child.overlay = NewChildOverlay(t.overlay)
 	}
 	return child, nil
 }
@@ -177,8 +193,14 @@ func (t *Tx) Access(l LockID, mode Mode, cost gas.Gas) error {
 			return nil // fast path: already held strongly enough
 		}
 		return t.mgr.acquire(root, t.thread, l, mode)
-	case KindReplay:
-		t.thread.Work(t.sched.TraceOverhead)
+	case KindReplay, KindOCC:
+		if t.kind == KindOCC {
+			// Read/write-set bookkeeping plus overlay buffering: pricier
+			// than the validator's bare trace, far cheaper than a lock.
+			t.thread.Work(t.sched.OCCOverhead)
+		} else {
+			t.thread.Work(t.sched.TraceOverhead)
+		}
 		root := t.root
 		if cur, seen := root.traceSeen[l]; seen {
 			root.traceSeen[l] = Combine(cur, mode)
@@ -200,6 +222,9 @@ func (t *Tx) LogUndo(inverse func()) {
 
 // Overlay implements Executor.
 func (t *Tx) Overlay() *Overlay {
+	if t.kind == KindOCC {
+		return t.overlay
+	}
 	if t.kind == KindSpeculative && t.policy == PolicyLazy {
 		return t.overlay
 	}
@@ -257,7 +282,9 @@ func (t *Tx) Commit() error {
 		t.status = StatusCommitted
 		return nil
 	}
-	if t.overlay != nil {
+	if t.overlay != nil && t.kind != KindOCC {
+		// OCC roots keep their writes pending: the engine validates the
+		// attempt first and applies (or discards) PendingWrites itself.
 		t.overlay.Apply()
 	}
 	if t.kind == KindSpeculative {
@@ -309,6 +336,16 @@ func (t *Tx) Revert() error {
 // Profile returns the scheduling metadata registered at Commit/Revert of a
 // speculative root. Zero value otherwise.
 func (t *Tx) Profile() Profile { return t.profile }
+
+// PendingWrites returns an OCC root's buffered writes after Commit: the
+// engine applies them once the attempt survives validation. Nil for every
+// other kind, and empty after a Revert (the rollback discarded them).
+func (t *Tx) PendingWrites() *Overlay {
+	if t.kind != KindOCC || t.parent != nil {
+		return nil
+	}
+	return t.overlay
+}
 
 // TraceResult returns the deduplicated, sorted trace of a replay root.
 func (t *Tx) TraceResult() Trace {

@@ -63,7 +63,39 @@ func (a *Array) Len(ex stm.Executor) (int, error) {
 	if err := ex.Access(a.lenLock(), stm.ModeShared, ex.Schedule().ArrayRead); err != nil {
 		return 0, err
 	}
+	if ov := ex.Overlay(); ov != nil {
+		return a.effectiveLen(ov), nil
+	}
 	return a.rawLen(), nil
+}
+
+// effectiveLen returns the length as seen through an overlay: buffered
+// pushes extend the raw length.
+func (a *Array) effectiveLen(ov *stm.Overlay) int {
+	if v, _, ok := ov.Get(a.lenOverlayKey()); ok {
+		if n, isInt := v.(int); isInt {
+			return n
+		}
+	}
+	return a.rawLen()
+}
+
+func (a *Array) lenOverlayKey() stm.OverlayKey {
+	return stm.OverlayKey{Obj: a.id, Key: lenLockKey}
+}
+
+// applyElem returns the commit-time apply closure for element i: a write
+// into the existing raw range, or an append for an index this transaction
+// pushed. Overlay applies run in key order, so buffered pushes append in
+// index order and land exactly at their planned slots.
+func (a *Array) applyElem(i int) func(val any, deleted bool) {
+	return func(val any, deleted bool) {
+		if i < a.rawLen() {
+			a.rawSet(i, val)
+			return
+		}
+		a.rawAppend(val)
+	}
 }
 
 // Get returns element i or ErrOutOfRange. Shared mode on the element lock.
@@ -74,6 +106,11 @@ func (a *Array) Get(ex stm.Executor, i int) (any, error) {
 	if ov := ex.Overlay(); ov != nil {
 		if v, deleted, ok := ov.Get(a.overlayKey(i)); ok && !deleted {
 			return v, nil
+		}
+		if d, buffered := ov.Delta(a.overlayKey(i)); buffered {
+			base, _ := a.rawGet(i)
+			n, _ := base.(uint64)
+			return uint64(int64(n) + d), nil
 		}
 	}
 	v, ok := a.rawGet(i)
@@ -89,14 +126,15 @@ func (a *Array) Set(ex stm.Executor, i int, v any) error {
 	if err := ex.Access(a.elemLock(i), stm.ModeExclusive, ex.Schedule().ArrayWrite); err != nil {
 		return err
 	}
+	if ov := ex.Overlay(); ov != nil {
+		if i < 0 || i >= a.effectiveLen(ov) {
+			return fmt.Errorf("%s[%d] with len %d: %w", a.name, i, a.effectiveLen(ov), ErrOutOfRange)
+		}
+		ov.Put(a.overlayKey(i), v, false, a.applyElem(i))
+		return nil
+	}
 	if i < 0 || i >= a.rawLen() {
 		return fmt.Errorf("%s[%d] with len %d: %w", a.name, i, a.rawLen(), ErrOutOfRange)
-	}
-	if ov := ex.Overlay(); ov != nil {
-		ov.Put(a.overlayKey(i), v, false, func(val any, deleted bool) {
-			a.rawSet(i, val)
-		})
-		return nil
 	}
 	prev, _ := a.rawGet(i)
 	ex.LogUndo(func() { a.rawSet(i, prev) })
@@ -105,15 +143,25 @@ func (a *Array) Set(ex stm.Executor, i int, v any) error {
 }
 
 // Push appends v and returns its index. Exclusive on the length lock and
-// the new element's lock; the inverse truncates.
-//
-// Push is deliberately not overlay-buffered: buffering appends would let two
-// lazy transactions plan the same index. Because Push holds the length lock
-// exclusively until commit, applying it in place with an inverse is
-// serializable under both policies.
+// the new element's lock; the inverse (eager policy) truncates.
 func (a *Array) Push(ex stm.Executor, v any) (int, error) {
 	if err := ex.Access(a.lenLock(), stm.ModeExclusive, ex.Schedule().ArrayPush); err != nil {
 		return 0, err
+	}
+	// Buffered regimes plan the index from the effective length (raw plus
+	// this family's buffered pushes). Two transactions can never commit
+	// the same planned index: a lazy transaction holds the length lock
+	// exclusively until its overlay is applied, and an OCC transaction
+	// carries the exclusive length lock in its read/write set, so the
+	// commit round's validation rejects the second planner.
+	if ov := ex.Overlay(); ov != nil {
+		i := a.effectiveLen(ov)
+		if err := ex.Access(a.elemLock(i), stm.ModeExclusive, ex.Schedule().ArrayWrite); err != nil {
+			return 0, err
+		}
+		ov.Put(a.overlayKey(i), v, false, a.applyElem(i))
+		ov.Put(a.lenOverlayKey(), i+1, false, func(any, bool) {})
+		return i, nil
 	}
 	i := a.rawLen()
 	if err := ex.Access(a.elemLock(i), stm.ModeExclusive, ex.Schedule().ArrayWrite); err != nil {
@@ -133,6 +181,20 @@ func (a *Array) AddUint(ex stm.Executor, i int, delta uint64) error {
 	}
 	if err := ex.Access(a.elemLock(i), mode, ex.Schedule().ArrayWrite); err != nil {
 		return err
+	}
+	if ov := ex.Overlay(); ov != nil {
+		if i < 0 || i >= a.effectiveLen(ov) {
+			return fmt.Errorf("%s[%d] with len %d: %w", a.name, i, a.effectiveLen(ov), ErrOutOfRange)
+		}
+		eff, _ := a.rawGet(i)
+		if v, deleted, ok := ov.Get(a.overlayKey(i)); ok && !deleted {
+			eff = v
+		}
+		if _, isUint := eff.(uint64); !isUint {
+			return fmt.Errorf("%w: %s[%d] holds %T", ErrNotCounter, a.name, i, eff)
+		}
+		ov.Add(a.overlayKey(i), int64(delta), func(d int64) { a.rawAdd(i, d) })
+		return nil
 	}
 	cur, ok := a.rawGet(i)
 	if !ok {

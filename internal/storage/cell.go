@@ -46,6 +46,12 @@ func (c *Cell) Read(ex stm.Executor) (any, error) {
 		if v, deleted, ok := ov.Get(c.overlayKey()); ok && !deleted {
 			return v, nil
 		}
+		if d, buffered := ov.Delta(c.overlayKey()); buffered {
+			// Read-your-increments; deltas are only buffered against
+			// verified uint64 counters.
+			n, _ := c.rawRead().(uint64)
+			return uint64(int64(n) + d), nil
+		}
 	}
 	return c.rawRead(), nil
 }
@@ -77,6 +83,20 @@ func (c *Cell) AddUint(ex stm.Executor, delta uint64) error {
 	}
 	if err := ex.Access(c.lock(), mode, ex.Schedule().CellAdd); err != nil {
 		return err
+	}
+	// Buffered regimes (lazy and OCC) record the increment as an
+	// accumulating delta entry; see Map.AddUint for the commutativity
+	// argument.
+	if ov := ex.Overlay(); ov != nil {
+		eff := c.rawRead()
+		if v, deleted, ok := ov.Get(c.overlayKey()); ok && !deleted {
+			eff = v
+		}
+		if _, isUint := eff.(uint64); !isUint {
+			return fmt.Errorf("%w: cell %s holds %T", ErrNotCounter, c.name, eff)
+		}
+		ov.Add(c.overlayKey(), int64(delta), func(d int64) { c.rawAdd(d) })
+		return nil
 	}
 	if _, ok := c.rawRead().(uint64); !ok {
 		return fmt.Errorf("%w: cell %s holds %T", ErrNotCounter, c.name, c.rawRead())

@@ -65,6 +65,18 @@ func (m *Map) Get(ex stm.Executor, key string) (any, bool, error) {
 			}
 			return v, !deleted, nil
 		}
+		if d, buffered := ov.Delta(m.overlayKey(key)); buffered {
+			// Read-your-increments: a buffered delta is visible to the
+			// buffering transaction as raw value plus delta. Deltas are
+			// only buffered against verified uint64 counters.
+			base, _ := m.rawGet(key)
+			n, _ := base.(uint64)
+			n = uint64(int64(n) + d)
+			if n == 0 {
+				return nil, false, nil // canonical zero
+			}
+			return n, true, nil
+		}
 	}
 	v, ok := m.rawGet(key)
 	return v, ok, nil
@@ -129,12 +141,19 @@ func (m *Map) AddUint(ex stm.Executor, key string, delta uint64) error {
 	if err := ex.Access(m.lock(key), m.addMode(), ex.Schedule().MapWrite); err != nil {
 		return err
 	}
-	// Lazy overlays buffer absolute values, which would break commutativity
-	// (two buffered adds from different transactions would collide on
-	// commit order that the lock no longer forbids). Increment-mode
-	// operations therefore always apply in place with an inverse, even
-	// under PolicyLazy; this mirrors boosting, where commutative ops need
-	// no buffering to be serializable.
+	// Buffered regimes (lazy and OCC) record the increment as a delta
+	// entry, not an absolute value: deltas from different transactions
+	// accumulate at apply time, so commutativity survives buffering — and
+	// an increment never clobbers (or is clobbered by) a buffered write
+	// to the same slot, because delta-after-Put folds into the buffered
+	// value.
+	if ov := ex.Overlay(); ov != nil {
+		if _, err := m.effectiveUint(ov, key); err != nil {
+			return err
+		}
+		ov.Add(m.overlayKey(key), int64(delta), func(d int64) { m.rawAdd(key, d) })
+		return nil
+	}
 	if cur, had := m.rawGet(key); had {
 		if _, ok := cur.(uint64); !ok {
 			return fmt.Errorf("%w: %s[%q] holds %T", ErrNotCounter, m.name, key, cur)
@@ -166,6 +185,17 @@ func (m *Map) SubUint(ex stm.Executor, key string, delta uint64) error {
 	if err := ex.Access(m.lock(key), stm.ModeExclusive, ex.Schedule().MapWrite); err != nil {
 		return err
 	}
+	if ov := ex.Overlay(); ov != nil {
+		base, err := m.effectiveUint(ov, key)
+		if err != nil {
+			return err
+		}
+		if base < delta {
+			return fmt.Errorf("%s[%q]: %d - %d: %w", m.name, key, base, delta, ErrUnderflow)
+		}
+		ov.Add(m.overlayKey(key), -int64(delta), func(d int64) { m.rawAdd(key, d) })
+		return nil
+	}
 	cur, had := m.rawGet(key)
 	var base uint64
 	if had {
@@ -181,6 +211,32 @@ func (m *Map) SubUint(ex stm.Executor, key string, delta uint64) error {
 	ex.LogUndo(func() { m.rawAdd(key, int64(delta)) })
 	m.rawAdd(key, -int64(delta))
 	return nil
+}
+
+// effectiveUint reads the counter at key as seen through an overlay: a
+// buffered absolute value, raw plus a buffered delta, or raw (absent
+// counts as zero). It fails with ErrNotCounter on non-uint64 slots.
+func (m *Map) effectiveUint(ov *stm.Overlay, key string) (uint64, error) {
+	if v, deleted, ok := ov.Get(m.overlayKey(key)); ok {
+		if deleted {
+			return 0, nil
+		}
+		n, isUint := v.(uint64)
+		if !isUint {
+			return 0, fmt.Errorf("%w: %s[%q] holds %T", ErrNotCounter, m.name, key, v)
+		}
+		return n, nil
+	}
+	var base uint64
+	if cur, had := m.rawGet(key); had {
+		n, isUint := cur.(uint64)
+		if !isUint {
+			return 0, fmt.Errorf("%w: %s[%q] holds %T", ErrNotCounter, m.name, key, cur)
+		}
+		base = n
+	}
+	d, _ := ov.Delta(m.overlayKey(key))
+	return uint64(int64(base) + d), nil
 }
 
 // GetUint reads the counter at key (0 when absent). Shared mode.

@@ -23,11 +23,9 @@ import (
 
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
-	"contractstm/internal/forkjoin"
-	"contractstm/internal/gas"
+	"contractstm/internal/engine"
 	"contractstm/internal/runtime"
 	"contractstm/internal/sched"
-	"contractstm/internal/stm"
 	"contractstm/internal/types"
 )
 
@@ -72,36 +70,13 @@ func Validate(runner runtime.Runner, w *contract.World, b chain.Block, cfg Confi
 		return Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 
-	costs := w.Schedule()
-	receipts := make([]contract.Receipt, n)
-	traces := make([]stm.Trace, n)
-
-	tasks := make([]forkjoin.Task, n)
-	for i := 0; i < n; i++ {
-		i := i
-		tasks[i] = forkjoin.Task{
-			Preds: plan.Preds[i],
-			Run: func(th runtime.Thread) {
-				// Task setup plus one join per happens-before predecessor:
-				// the only synchronization the validator pays for (§4).
-				th.Work(costs.TaskSetup + costs.JoinOverhead*gas.Gas(len(plan.Preds[i])))
-				call := b.Calls[i]
-				id := types.TxID(i)
-				tx := stm.BeginReplay(id, th, gas.NewMeter(call.GasLimit), costs)
-				out := contract.Execute(w, tx, call)
-				receipts[i] = contract.ReceiptFor(id, out)
-				traces[i] = tx.TraceResult()
-			},
-		}
-	}
-	pool := runner
-	if cfg.Workers > 1 {
-		pool = runtime.WithStartupWork(runner, costs.PoolStartup)
-	}
-	makespan, err := forkjoin.Run(pool, cfg.Workers, tasks)
+	// The replay execution loop lives in the engine layer (shared with the
+	// engines' schedule derivation); validation layers the checks on top.
+	run, err := engine.Replay(runner, w, b.Calls, plan, cfg.Workers)
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: fork-join execution: %v", ErrRejected, err)
 	}
+	receipts, traces, makespan := run.Receipts, run.Traces, run.Makespan
 
 	// Trace-vs-profile comparison (§4: "the validator's VM compares the
 	// traces it generated with the lock profiles provided by the miner").
