@@ -11,6 +11,7 @@
 //	blockbench -appendixb          # only Appendix B times
 //	blockbench -engines            # engine comparison: serial vs speculative vs occ
 //	blockbench -engine occ         # run the sweeps with a specific engine as the miner
+//	blockbench -cluster            # multi-node sweep: blocks/s across 1-4 validating peers
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
 //	blockbench -workers 3 -runs 5  # pool size and repetitions
@@ -50,12 +51,13 @@ func run() error {
 		policy    = flag.String("policy", "eager", `speculative write policy: "eager" or "lazy"`)
 		engName   = flag.String("engine", "speculative", `execution engine measured as the miner: "serial", "speculative" or "occ"`)
 		engines   = flag.Bool("engines", false, "print the engine comparison (every benchmark under every engine)")
+		clusterF  = flag.Bool("cluster", false, "run the multi-node propagation sweep (wall-clock, 1-4 validating peers per engine)")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -88,6 +90,41 @@ func run() error {
 	if *quick {
 		sizes = []int{10, 50, 200, 400}
 		conflicts = []int{0, 50, 100}
+	}
+
+	if *clusterF {
+		ccfg := bench.ClusterConfig{Workers: *workers}
+		if *quick {
+			ccfg.Blocks, ccfg.BlockSize, ccfg.PeerCounts = 2, 16, []int{1, 2}
+		}
+		// All engines by default; an explicit -engine narrows the sweep.
+		engSet := false
+		flag.Visit(func(f *flag.Flag) { engSet = engSet || f.Name == "engine" })
+		engLabel := "all"
+		if engSet {
+			ccfg.Engines = []engine.Kind{engKind}
+			engLabel = engKind.String()
+		}
+		ccfg = ccfg.WithDefaults()
+		fmt.Printf("blockbench: cluster sweep, workers=%d engine=%s peers=%v\n\n",
+			*workers, engLabel, ccfg.PeerCounts)
+		points, err := bench.SweepCluster(ccfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteClusterSweep(os.Stdout, ccfg, points)
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return fmt.Errorf("create csv: %w", err)
+			}
+			bench.WriteClusterCSV(f, points)
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("close csv: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+		return nil
 	}
 
 	engLabel := cfg.Engine.String()

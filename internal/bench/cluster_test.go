@@ -1,0 +1,39 @@
+package bench
+
+// Cluster sweep smoke test: a reduced end-to-end propagation sweep —
+// miner node → HTTP broadcast → validating followers — per engine, so
+// plain `go test ./...` exercises the multi-node measurement path.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterSweepSmoke(t *testing.T) {
+	cfg := ClusterConfig{
+		BlockSize:  12,
+		Blocks:     2,
+		PeerCounts: []int{1, 2},
+	}
+	points, err := SweepCluster(cfg)
+	if err != nil {
+		t.Fatalf("SweepCluster: %v", err)
+	}
+	wantPoints := len(cfg.WithDefaults().Engines) * len(cfg.PeerCounts)
+	if len(points) != wantPoints {
+		t.Fatalf("%d points, want %d", len(points), wantPoints)
+	}
+	for _, p := range points {
+		if p.BlocksPerSec <= 0 || p.TxsPerSec <= 0 {
+			t.Fatalf("%v/%d peers: throughput %f blocks/s, %f txs/s", p.Engine, p.Peers, p.BlocksPerSec, p.TxsPerSec)
+		}
+		if p.Blocks != cfg.Blocks || p.Txs != cfg.Blocks*cfg.BlockSize {
+			t.Fatalf("%v/%d peers: counted %d blocks, %d txs", p.Engine, p.Peers, p.Blocks, p.Txs)
+		}
+	}
+	var buf strings.Builder
+	WriteClusterSweep(&buf, cfg, points)
+	if !strings.Contains(buf.String(), "Cluster sweep") || !strings.Contains(buf.String(), "blocks/s") {
+		t.Fatalf("report missing headings:\n%s", buf.String())
+	}
+}

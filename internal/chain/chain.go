@@ -205,6 +205,18 @@ func (c *Chain) BlockAt(n uint64) (Block, bool) {
 	return c.blocks[n], true
 }
 
+// HashAt returns the hash of the block at the given height, if any. It is
+// the cheap membership probe import paths use for duplicate and fork
+// detection before paying for re-execution.
+func (c *Chain) HashAt(n uint64) (types.Hash, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n >= uint64(len(c.blocks)) {
+		return types.Hash{}, false
+	}
+	return c.blocks[n].Header.Hash(), true
+}
+
 // Append verifies linkage and commitments, then appends the block.
 func (c *Chain) Append(b Block) error {
 	c.mu.Lock()

@@ -23,6 +23,11 @@ import (
 // wireVersion guards against decoding blocks from incompatible builds.
 const wireVersion uint32 = 1
 
+// MaxWireBlock bounds one block's wire encoding; both the node's block
+// upload handler and the cluster peer client cap reads at this, so the
+// serve and fetch sides can never disagree on what fits.
+const MaxWireBlock = 64 << 20
+
 // wireBlock is the on-the-wire envelope.
 type wireBlock struct {
 	Version uint32

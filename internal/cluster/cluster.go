@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+
+	"contractstm/internal/chain"
+	"contractstm/internal/contract"
+	"contractstm/internal/engine"
+	"contractstm/internal/node"
+	"contractstm/internal/runtime"
+	"contractstm/internal/txpool"
+	"contractstm/internal/workload"
+)
+
+// GenerateWorlds builds n identical genesis worlds for params — workload
+// generation is deterministic in the seed, so every copy shares one state
+// root — plus the generated call list for the miner to submit. It is the
+// one way the harness, the benchmarks and the demo set up a cluster whose
+// nodes agree at genesis.
+func GenerateWorlds(params workload.Params, n int) ([]*contract.World, []contract.Call, error) {
+	worlds := make([]*contract.World, n)
+	var calls []contract.Call
+	for i := range worlds {
+		wl, err := workload.Generate(params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: generate world %d: %w", i, err)
+		}
+		worlds[i] = wl.World
+		if i == 0 {
+			calls = wl.Calls
+		}
+	}
+	return worlds, calls, nil
+}
+
+// Config assembles an in-process cluster: one node per world, each served
+// over its own HTTP transport with a peer client pointing at it.
+type Config struct {
+	// Worlds holds one genesis world per node. All nodes must start from
+	// identical state (same state root), or their genesis blocks — and
+	// everything after — would differ.
+	Worlds []*contract.World
+	// Engine selects every node's block-execution engine.
+	Engine engine.Kind
+	// Workers is each node's mining/validation pool size.
+	Workers int
+	// Runner executes mining and validation (nil = real OS threads).
+	Runner runtime.Runner
+	// SelectionPolicy picks block transactions from each node's pool.
+	SelectionPolicy txpool.Policy
+	// Listen, when non-empty, binds node i to the TCP address Listen[i]
+	// (length must match Worlds; use "127.0.0.1:0" for an ephemeral
+	// port). Empty means httptest transports — in-process sockets, ideal
+	// for tests and benchmarks.
+	Listen []string
+	// Client overrides the HTTP client the peer handles use.
+	Client *http.Client
+}
+
+// Cluster runs N in-process nodes behind HTTP servers. Node 0 is the
+// conventional miner in the harness helpers, but nothing in the wiring
+// privileges it — any node can mine, accept and serve blocks.
+type Cluster struct {
+	nodes  []*node.Node
+	urls   []string
+	stops  []func()
+	client *http.Client
+}
+
+// New builds and starts a cluster. Callers own Close.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Worlds) == 0 {
+		return nil, fmt.Errorf("cluster: no worlds")
+	}
+	if len(cfg.Listen) > 0 && len(cfg.Listen) != len(cfg.Worlds) {
+		return nil, fmt.Errorf("cluster: %d listen addresses for %d worlds", len(cfg.Listen), len(cfg.Worlds))
+	}
+	c := &Cluster{client: cfg.Client}
+	for i, w := range cfg.Worlds {
+		n, err := node.New(node.Config{
+			World:           w,
+			Workers:         cfg.Workers,
+			Runner:          cfg.Runner,
+			SelectionPolicy: cfg.SelectionPolicy,
+			Engine:          cfg.Engine,
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		if i > 0 && n.Head().Header.Hash() != c.nodes[0].Head().Header.Hash() {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d genesis differs from node 0 (worlds not identical)", i)
+		}
+		url, stop, err := serve(n, cfg.Listen, i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		c.urls = append(c.urls, url)
+		c.stops = append(c.stops, stop)
+	}
+	return c, nil
+}
+
+// serve exposes a node over httptest or a real TCP listener.
+func serve(n *node.Node, listen []string, i int) (url string, stop func(), err error) {
+	if len(listen) == 0 {
+		srv := httptest.NewServer(n.Handler())
+		return srv.URL, srv.Close, nil
+	}
+	ln, err := net.Listen("tcp", listen[i])
+	if err != nil {
+		return "", nil, fmt.Errorf("cluster: node %d listen %s: %w", i, listen[i], err)
+	}
+	srv := &http.Server{Handler: n.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// Close shuts down every node's HTTP server.
+func (c *Cluster) Close() {
+	for _, stop := range c.stops {
+		stop()
+	}
+}
+
+// Len returns the number of nodes.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// URL returns node i's base URL.
+func (c *Cluster) URL(i int) string { return c.urls[i] }
+
+// Peer returns a client view of node i.
+func (c *Cluster) Peer(i int) *Peer { return NewPeer(c.urls[i], c.client) }
+
+// PeersExcept returns clients for every node but i — the broadcast
+// targets from node i's point of view.
+func (c *Cluster) PeersExcept(i int) []*Peer {
+	var out []*Peer
+	for j := range c.nodes {
+		if j != i {
+			out = append(out, c.Peer(j))
+		}
+	}
+	return out
+}
+
+// Broadcaster returns a broadcaster from node i to every other node.
+func (c *Cluster) Broadcaster(i int) *Broadcaster {
+	return &Broadcaster{Peers: c.PeersExcept(i)}
+}
+
+// Heads returns every node's head header, indexed like the nodes.
+func (c *Cluster) Heads() []chain.Header {
+	out := make([]chain.Header, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Head().Header
+	}
+	return out
+}
+
+// Converged reports whether every node shares node 0's head hash.
+func (c *Cluster) Converged() bool {
+	heads := c.Heads()
+	for _, h := range heads[1:] {
+		if h.Hash() != heads[0].Hash() {
+			return false
+		}
+	}
+	return true
+}

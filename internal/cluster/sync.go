@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"contractstm/internal/chain"
+	"contractstm/internal/node"
+)
+
+// ErrDiverged reports that the local node and the remote peer have
+// committed different blocks at the same height: the chains have forked
+// and no amount of catch-up fetching can reconcile them.
+var ErrDiverged = errors.New("cluster: chains diverged")
+
+// Sync brings n up to date with the peer: while the peer's head is ahead,
+// fetch each missing height in order and import it through the node's
+// validator-gated AcceptBlock. It returns how many blocks were imported.
+//
+// The loop re-reads the peer's head after each pass, so blocks mined
+// while catching up are picked up too; it terminates when the heads agree
+// (same height, same hash), the peer falls behind, or anything fails.
+//
+// Divergence — the peer committing a different block at a height n also
+// holds — is detected both from head comparison and from import-time fork
+// or bad-parent rejections, and reported as ErrDiverged.
+func Sync(ctx context.Context, n *node.Node, p *Peer) (imported int, err error) {
+	for {
+		remote, err := p.Head(ctx)
+		if err != nil {
+			return imported, err
+		}
+		local := n.Head().Header
+		switch {
+		case remote.Number == local.Number:
+			if remote.Hash != local.Hash() {
+				return imported, fmt.Errorf("%w: height %d: local %s, peer %s (%s)",
+					ErrDiverged, local.Number, local.Hash().Short(), remote.Hash.Short(), p.URL())
+			}
+			return imported, nil
+		case remote.Number < local.Number:
+			// We are ahead; the shared prefix must still agree.
+			if known, ok := n.BlockAt(remote.Number); ok && known.Header.Hash() != remote.Hash {
+				return imported, fmt.Errorf("%w: height %d: local %s, peer %s (%s)",
+					ErrDiverged, remote.Number, known.Header.Hash().Short(), remote.Hash.Short(), p.URL())
+			}
+			return imported, nil
+		}
+		for h := local.Number + 1; h <= remote.Number; h++ {
+			if ctx.Err() != nil {
+				return imported, ctx.Err()
+			}
+			blk, err := p.Block(ctx, h)
+			if err != nil {
+				return imported, err
+			}
+			if err := n.AcceptBlock(blk); err != nil {
+				switch {
+				case errors.Is(err, node.ErrAlreadyKnown):
+					continue
+				case errors.Is(err, node.ErrFork), errors.Is(err, chain.ErrBadParent):
+					return imported, fmt.Errorf("%w: %v", ErrDiverged, err)
+				default:
+					return imported, fmt.Errorf("cluster: import height %d from %s: %w", h, p.URL(), err)
+				}
+			}
+			imported++
+		}
+	}
+}

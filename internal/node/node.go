@@ -21,6 +21,7 @@ package node
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -114,6 +115,10 @@ func New(cfg Config) (*Node, error) {
 // Submit queues a transaction.
 func (n *Node) Submit(call contract.Call) { n.pool.Submit(call) }
 
+// SubmitAll queues a batch of transactions atomically: no other
+// submitter's calls interleave inside the batch.
+func (n *Node) SubmitAll(calls []contract.Call) { n.pool.SubmitAll(calls) }
+
 // PoolLen reports queued transactions.
 func (n *Node) PoolLen() int { return n.pool.Len() }
 
@@ -154,6 +159,9 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 		engine.Options{Workers: n.workers})
 	if err != nil {
 		n.world.Restore(snap)
+		// The selection was destructive; a failed attempt must not lose
+		// the clients' transactions.
+		n.pool.Requeue(calls)
 		return chain.Block{}, fmt.Errorf("node: mine: %w", err)
 	}
 
@@ -161,6 +169,7 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 	defer n.mu.Unlock()
 	if err := n.chain.Append(res.Block); err != nil {
 		n.world.Restore(snap)
+		n.pool.Requeue(calls)
 		return chain.Block{}, fmt.Errorf("node: append: %w", err)
 	}
 	var conflicted []contract.Call
@@ -173,13 +182,49 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 	return res.Block, nil
 }
 
+// Errors reported by block import.
+var (
+	// ErrAlreadyKnown reports an import of a block the chain already
+	// holds. Imports are idempotent: callers (gossip, catch-up sync) may
+	// treat it as success.
+	ErrAlreadyKnown = errors.New("node: block already known")
+	// ErrFork reports an import that conflicts with a different block
+	// already committed at the same height — chain divergence.
+	ErrFork = errors.New("node: fork: conflicting block for committed height")
+)
+
 // AcceptBlock validates a foreign block against the node's state and
 // appends it — the validator-node path. On rejection the world state is
 // restored. Like MineOne, it holds execMu (not n.mu) across the
 // validation execution.
+//
+// Import is idempotent: a block already on the chain returns
+// ErrAlreadyKnown without re-executing; a different block at an occupied
+// height returns ErrFork. Both checks run before validation, so repeated
+// gossip of old blocks costs two hashes, not a replay.
 func (n *Node) AcceptBlock(b chain.Block) error {
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
+
+	n.mu.Lock()
+	head := n.chain.Head().Header
+	n.mu.Unlock()
+	if b.Header.Number <= head.Number {
+		known, _ := n.chain.HashAt(b.Header.Number)
+		if known == b.Header.Hash() {
+			return ErrAlreadyKnown
+		}
+		return fmt.Errorf("%w: height %d has %s, got %s",
+			ErrFork, b.Header.Number, known.Short(), b.Header.Hash().Short())
+	}
+	if b.Header.Number != head.Number+1 {
+		return fmt.Errorf("node: accept: %w: got %d, want %d",
+			chain.ErrBadNumber, b.Header.Number, head.Number+1)
+	}
+	if b.Header.ParentHash != head.Hash() {
+		return fmt.Errorf("node: accept: %w: got %s, want %s",
+			chain.ErrBadParent, b.Header.ParentHash.Short(), head.Hash().Short())
+	}
 
 	snap := n.world.Snapshot()
 	if _, err := validator.Validate(n.runner, n.world, b, validator.Config{Workers: n.workers}); err != nil {
@@ -303,9 +348,17 @@ func (n *Node) Handler() http.Handler {
 	return mux
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// writeJSON sends v as a JSON response. The Content-Type header must be
+// set before WriteHeader flushes the header block, so every JSON-speaking
+// handler funnels through here.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 func (n *Node) handleTx(w http.ResponseWriter, r *http.Request) {
@@ -345,8 +398,7 @@ func (n *Node) handleTx(w http.ResponseWriter, r *http.Request) {
 		Sender: sender, Contract: target, Function: tx.Function,
 		Args: args, Value: types.Amount(tx.Value), GasLimit: limit,
 	})
-	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(map[string]int{"poolLen": n.PoolLen()})
+	writeJSON(w, http.StatusAccepted, map[string]int{"poolLen": n.PoolLen()})
 }
 
 func (n *Node) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -365,20 +417,27 @@ func (n *Node) handleMine(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err)
 		return
 	}
-	_ = json.NewEncoder(w).Encode(headerSummary(block))
+	writeJSON(w, http.StatusOK, headerSummary(block))
 }
 
 func (n *Node) handleAcceptBlock(w http.ResponseWriter, r *http.Request) {
-	block, err := chain.DecodeBlock(io.LimitReader(r.Body, 64<<20))
+	block, err := chain.DecodeBlock(io.LimitReader(r.Body, chain.MaxWireBlock))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := n.AcceptBlock(block); err != nil {
+		if errors.Is(err, ErrAlreadyKnown) {
+			// Idempotent import: re-gossiped blocks are fine.
+			summary := headerSummary(block)
+			summary["alreadyKnown"] = true
+			writeJSON(w, http.StatusOK, summary)
+			return
+		}
 		httpError(w, http.StatusConflict, err)
 		return
 	}
-	_ = json.NewEncoder(w).Encode(headerSummary(block))
+	writeJSON(w, http.StatusOK, headerSummary(block))
 }
 
 func (n *Node) handleGetBlock(w http.ResponseWriter, r *http.Request) {
@@ -402,11 +461,11 @@ func (n *Node) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleHead(w http.ResponseWriter, r *http.Request) {
-	_ = json.NewEncoder(w).Encode(headerSummary(n.Head()))
+	writeJSON(w, http.StatusOK, headerSummary(n.Head()))
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
-	_ = json.NewEncoder(w).Encode(n.CurrentStatus())
+	writeJSON(w, http.StatusOK, n.CurrentStatus())
 }
 
 // headerSummary is the JSON view of a block header plus body sizes.

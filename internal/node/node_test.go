@@ -3,6 +3,7 @@ package node
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -314,5 +315,108 @@ func TestNodeWithSpreadPolicy(t *testing.T) {
 		if _, err := n.MineOne(4); err != nil {
 			t.Fatalf("drain: %v", err)
 		}
+	}
+}
+
+// TestHTTPContentType checks every JSON-speaking endpoint declares
+// application/json — including error responses, where the header must be
+// set before WriteHeader flushes the header block.
+func TestHTTPContentType(t *testing.T) {
+	w, holders := newTokenWorld(t, 3)
+	n := newTestNode(t, w)
+	url := httpNode(t, n)
+
+	wantJSON := func(resp *http.Response, what string) {
+		t.Helper()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s Content-Type = %q, want application/json", what, ct)
+		}
+	}
+
+	// Success paths: submit, mine, head, status.
+	toArg, _ := EncodeArg(holders[1])
+	amtArg, _ := EncodeArg(uint64(1))
+	resp, _ := postJSON(t, url+"/tx", wireTx{
+		Sender: holders[0].String(), Contract: tokenAddr.String(),
+		Function: "transfer", Args: []wireArg{toArg, amtArg}, GasLimit: 100_000,
+	})
+	wantJSON(resp, "POST /tx")
+	resp, _ = postJSON(t, url+"/mine", map[string]int{"blockSize": 10})
+	wantJSON(resp, "POST /mine")
+	for _, path := range []string{"/head", "/status"} {
+		getResp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		getResp.Body.Close()
+		wantJSON(getResp, "GET "+path)
+	}
+	// Error paths.
+	resp, _ = postJSON(t, url+"/tx", wireTx{Sender: "junk"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tx status = %d", resp.StatusCode)
+	}
+	wantJSON(resp, "POST /tx (error)")
+	getResp, err := http.Get(url + "/blocks/99")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing block status = %d", getResp.StatusCode)
+	}
+	wantJSON(getResp, "GET /blocks/99 (error)")
+	// Block bytes stay binary.
+	blockResp, err := http.Get(url + "/blocks/1")
+	if err != nil {
+		t.Fatalf("GET block: %v", err)
+	}
+	blockResp.Body.Close()
+	if ct := blockResp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("block Content-Type = %q", ct)
+	}
+}
+
+// TestAcceptBlockIdempotentAndForkDetection covers the import fast paths:
+// re-importing a known block is ErrAlreadyKnown (no re-execution, height
+// unchanged), and a different block for a committed height is ErrFork.
+func TestAcceptBlockIdempotentAndForkDetection(t *testing.T) {
+	minerWorld, holders := newTokenWorld(t, 4)
+	validatorWorld, _ := newTokenWorld(t, 4)
+	m := newTestNode(t, minerWorld)
+	v := newTestNode(t, validatorWorld)
+	for i, from := range holders {
+		m.Submit(contract.Call{
+			Sender: from, Contract: tokenAddr, Function: "transfer",
+			Args: []any{holders[(i+1)%len(holders)], uint64(2)}, GasLimit: 100_000,
+		})
+	}
+	block, err := m.MineOne(100)
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	if err := v.AcceptBlock(block); err != nil {
+		t.Fatalf("first import: %v", err)
+	}
+	if err := v.AcceptBlock(block); !errors.Is(err, ErrAlreadyKnown) {
+		t.Fatalf("duplicate import err = %v, want ErrAlreadyKnown", err)
+	}
+	if v.Height() != 1 {
+		t.Fatalf("height = %d after duplicate import", v.Height())
+	}
+	// A competing block at the committed height is a fork.
+	forged := block
+	forged.Header.StateRoot = types.HashString("other-branch")
+	if err := v.AcceptBlock(forged); !errors.Is(err, ErrFork) {
+		t.Fatalf("conflicting import err = %v, want ErrFork", err)
+	}
+	// A block from the future (height gap) is rejected cheaply.
+	gap := block
+	gap.Header.Number = 5
+	if err := v.AcceptBlock(gap); err == nil || errors.Is(err, ErrAlreadyKnown) {
+		t.Fatalf("gapped import err = %v", err)
+	}
+	if v.Height() != 1 {
+		t.Fatalf("height = %d after rejected imports", v.Height())
 	}
 }

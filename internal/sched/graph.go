@@ -41,11 +41,20 @@ type Graph struct {
 	n     int
 	succs [][]int
 	preds [][]int
+	// edgeSet dedups AddEdge in O(1); a hot lock (one ballot counter
+	// touched by every transaction) otherwise turns the per-edge linear
+	// scan of succs[from] quadratic.
+	edgeSet map[uint64]struct{}
 }
 
 // NewGraph returns an edgeless graph over n transactions.
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, succs: make([][]int, n), preds: make([][]int, n)}
+	return &Graph{
+		n:       n,
+		succs:   make([][]int, n),
+		preds:   make([][]int, n),
+		edgeSet: make(map[uint64]struct{}),
+	}
 }
 
 // N returns the number of transactions.
@@ -56,11 +65,11 @@ func (g *Graph) AddEdge(from, to int) {
 	if from == to || from < 0 || to < 0 || from >= g.n || to >= g.n {
 		return
 	}
-	for _, s := range g.succs[from] {
-		if s == to {
-			return
-		}
+	key := uint64(from)<<32 | uint64(to)
+	if _, dup := g.edgeSet[key]; dup {
+		return
 	}
+	g.edgeSet[key] = struct{}{}
 	g.succs[from] = append(g.succs[from], to)
 	g.preds[to] = append(g.preds[to], from)
 }
@@ -314,13 +323,27 @@ func CheckRaces(g *Graph, traces []stm.Trace) error {
 		tx   int
 		mode stm.Mode
 	}
+	// Dedup repeat (tx, mode) uses of one lock while grouping: a
+	// transaction hammering one hot lock contributes one entry per mode,
+	// not one per access, keeping the pairwise check below quadratic only
+	// in *distinct* users rather than in raw trace length.
+	type lockUse struct {
+		lock stm.LockID
+		u    use
+	}
 	perLock := make(map[stm.LockID][]use)
+	seen := make(map[lockUse]struct{})
 	for _, tr := range traces {
 		if int(tr.Tx) >= g.n {
 			return fmt.Errorf("%w: trace for %s with %d transactions", ErrMalformed, tr.Tx, g.n)
 		}
 		for _, e := range tr.Entries {
-			perLock[e.Lock] = append(perLock[e.Lock], use{tx: int(tr.Tx), mode: e.Mode})
+			lu := lockUse{lock: e.Lock, u: use{tx: int(tr.Tx), mode: e.Mode}}
+			if _, dup := seen[lu]; dup {
+				continue
+			}
+			seen[lu] = struct{}{}
+			perLock[e.Lock] = append(perLock[e.Lock], lu.u)
 		}
 	}
 	for lock, uses := range perLock {

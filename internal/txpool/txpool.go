@@ -69,9 +69,21 @@ type Pool struct {
 	// function), fed back by the miner via ReportConflicts; the spread
 	// policy caps only functions with a positive score, so legitimately
 	// disjoint traffic (withdraw, vote from distinct senders) is never
-	// throttled.
+	// throttled. Scores decay geometrically every conflictDecayEvery
+	// reports and the map is capped at maxConflictEntries, so a pool under
+	// sustained traffic holds bounded memory and stale hot spots fade.
 	conflictScore map[funcHint]int
+	// reportedSinceDecay counts conflict reports since the last decay pass.
+	reportedSinceDecay int
 }
+
+// conflictDecayEvery is how many reported conflicts trigger a decay pass
+// (every score halves; zeroed entries are dropped).
+const conflictDecayEvery = 256
+
+// maxConflictEntries bounds the conflict-score map; when exceeded, the
+// lowest-scored entries are evicted first.
+const maxConflictEntries = 1024
 
 // New returns an empty pool.
 func New() *Pool {
@@ -87,6 +99,37 @@ func (p *Pool) ReportConflicts(calls []contract.Call) {
 	for _, c := range calls {
 		p.conflictScore[funcHint{contract: c.Contract, function: c.Function}]++
 	}
+	p.reportedSinceDecay += len(calls)
+	if p.reportedSinceDecay >= conflictDecayEvery {
+		p.reportedSinceDecay = 0
+		for k, v := range p.conflictScore {
+			if v /= 2; v == 0 {
+				delete(p.conflictScore, k)
+			} else {
+				p.conflictScore[k] = v
+			}
+		}
+	}
+	for len(p.conflictScore) > maxConflictEntries {
+		min := 0
+		for _, v := range p.conflictScore {
+			if min == 0 || v < min {
+				min = v
+			}
+		}
+		for k, v := range p.conflictScore {
+			if v <= min && len(p.conflictScore) > maxConflictEntries {
+				delete(p.conflictScore, k)
+			}
+		}
+	}
+}
+
+// conflictEntries reports tracked (contract, function) groups (tests).
+func (p *Pool) conflictEntries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conflictScore)
 }
 
 // Submit enqueues a call.
@@ -97,11 +140,33 @@ func (p *Pool) Submit(call contract.Call) {
 	p.nextSeq++
 }
 
-// SubmitAll enqueues calls in order.
+// SubmitAll enqueues calls in order, atomically: the whole batch lands
+// under one lock acquisition, so concurrent submitters and Select calls
+// can never interleave with (or observe a prefix of) the batch.
 func (p *Pool) SubmitAll(calls []contract.Call) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, c := range calls {
-		p.Submit(c)
+		p.queue = append(p.queue, pending{call: c, seq: p.nextSeq})
+		p.nextSeq++
 	}
+}
+
+// Requeue returns selected-but-unmined calls to the *front* of the queue
+// in their original relative order: a failed mining attempt (execution
+// error, append race) must neither drop nor reorder client transactions.
+func (p *Pool) Requeue(calls []contract.Call) {
+	if len(calls) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pre := make([]pending, 0, len(calls)+len(p.queue))
+	for _, c := range calls {
+		pre = append(pre, pending{call: c, seq: p.nextSeq})
+		p.nextSeq++
+	}
+	p.queue = append(pre, p.queue...)
 }
 
 // Len reports queued transactions.

@@ -211,3 +211,119 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("empty policy string")
 	}
 }
+
+// TestSubmitAllAtomic submits batches concurrently with FIFO drains and
+// checks every drained batch is contiguous: because SubmitAll holds the
+// lock across the whole batch, no other submitter's calls can interleave
+// inside it.
+func TestSubmitAllAtomic(t *testing.T) {
+	const (
+		submitters = 8
+		batches    = 20
+		batchLen   = 16
+	)
+	pool := New()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]contract.Call, batchLen)
+				for i := range batch {
+					// Sender encodes (submitter, batch); the batch's calls
+					// must come out adjacent in the drained stream.
+					batch[i] = call(uint64(s)<<32|uint64(b), uint64(i), "f")
+				}
+				pool.SubmitAll(batch)
+			}
+		}(s)
+	}
+	wg.Wait()
+	total := submitters * batches * batchLen
+	if pool.Len() != total {
+		t.Fatalf("pool holds %d, want %d", pool.Len(), total)
+	}
+	var drained []contract.Call
+	for pool.Len() > 0 {
+		calls, err := pool.Select(PolicyFIFO, 64)
+		if err != nil {
+			t.Fatalf("Select: %v", err)
+		}
+		drained = append(drained, calls...)
+	}
+	for i := 0; i < len(drained); i += batchLen {
+		owner := drained[i].Sender
+		for j := 1; j < batchLen; j++ {
+			if drained[i+j].Sender != owner {
+				t.Fatalf("batch starting at %d interleaved: %s then %s", i, owner, drained[i+j].Sender)
+			}
+		}
+	}
+}
+
+// TestConflictScoreStaysBounded feeds sustained conflict reports with
+// ever-new (contract, function) pairs and checks the score map neither
+// grows past its cap nor keeps stale entries alive forever.
+func TestConflictScoreStaysBounded(t *testing.T) {
+	pool := New()
+	for round := 0; round < 200; round++ {
+		batch := make([]contract.Call, 50)
+		for i := range batch {
+			batch[i] = call(1, uint64(round*1000+i), "hot")
+		}
+		pool.ReportConflicts(batch)
+		if n := pool.conflictEntries(); n > maxConflictEntries {
+			t.Fatalf("round %d: %d conflict entries, cap %d", round, n, maxConflictEntries)
+		}
+	}
+	if n := pool.conflictEntries(); n == 0 || n > maxConflictEntries {
+		t.Fatalf("final conflict entries = %d, want (0, %d]", n, maxConflictEntries)
+	}
+	// Decay drains a score that stops being reported: a single entry
+	// reported once disappears after enough unrelated traffic.
+	fresh := New()
+	fresh.ReportConflicts([]contract.Call{call(7, 7, "once")})
+	for i := 0; i < conflictDecayEvery; i++ {
+		fresh.ReportConflicts([]contract.Call{call(8, 8, "noise")})
+	}
+	fresh.mu.Lock()
+	_, alive := fresh.conflictScore[funcHint{contract: types.AddressFromUint64(7), function: "once"}]
+	fresh.mu.Unlock()
+	if alive {
+		t.Fatal("stale conflict score survived decay")
+	}
+}
+
+// TestRequeuePreservesOrderAtFront checks a failed mining attempt's calls
+// go back to the queue head in their original relative order, ahead of
+// anything submitted meanwhile.
+func TestRequeuePreservesOrderAtFront(t *testing.T) {
+	pool := New()
+	for i := uint64(0); i < 6; i++ {
+		pool.Submit(call(i, 1, "f"))
+	}
+	selected, err := pool.Select(PolicyFIFO, 4)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	pool.Submit(call(100, 1, "f")) // arrives while the block executes
+	pool.Requeue(selected)         // ...and the mining attempt fails
+	if pool.Len() != 7 {
+		t.Fatalf("pool len = %d, want 7", pool.Len())
+	}
+	drained, err := pool.Select(PolicyFIFO, 7)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wantSenders := []uint64{0, 1, 2, 3, 4, 5, 100}
+	for i, want := range wantSenders {
+		if drained[i].Sender != types.AddressFromUint64(want) {
+			t.Fatalf("position %d: got %s, want sender %d", i, drained[i].Sender, want)
+		}
+	}
+	pool.Requeue(nil) // no-op
+	if pool.Len() != 0 {
+		t.Fatalf("empty requeue changed len to %d", pool.Len())
+	}
+}
