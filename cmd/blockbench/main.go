@@ -12,6 +12,7 @@
 //	blockbench -engines            # engine comparison: serial vs speculative vs occ
 //	blockbench -engine occ         # run the sweeps with a specific engine as the miner
 //	blockbench -cluster            # multi-node sweep: blocks/s across 1-4 validating peers
+//	blockbench -persist            # durability sweep: no persistence vs WAL (sync/nosync) vs WAL+snapshots
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
 //	blockbench -workers 3 -runs 5  # pool size and repetitions
@@ -23,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"contractstm/internal/bench"
@@ -35,6 +37,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "blockbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeCSV emits one sweep's data points to path ("" = no CSV wanted).
+func writeCSV(path string, emit func(io.Writer)) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create csv: %w", err)
+	}
+	emit(f)
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close csv: %w", err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func run() error {
@@ -52,12 +71,13 @@ func run() error {
 		engName   = flag.String("engine", "speculative", `execution engine measured as the miner: "serial", "speculative" or "occ"`)
 		engines   = flag.Bool("engines", false, "print the engine comparison (every benchmark under every engine)")
 		clusterF  = flag.Bool("cluster", false, "run the multi-node propagation sweep (wall-clock, 1-4 validating peers per engine)")
+		persistF  = flag.Bool("persist", false, "run the durability sweep (wall-clock, no-persistence vs WAL sync/nosync vs WAL+snapshots per engine)")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -92,39 +112,44 @@ func run() error {
 		conflicts = []int{0, 50, 100}
 	}
 
+	// All engines by default; an explicit -engine narrows wall-clock
+	// sweeps (-cluster, -persist) to the one selected.
+	narrowEngines, engNarrowLabel := []engine.Kind(nil), "all"
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			narrowEngines, engNarrowLabel = []engine.Kind{engKind}, engKind.String()
+		}
+	})
+
 	if *clusterF {
-		ccfg := bench.ClusterConfig{Workers: *workers}
+		ccfg := bench.ClusterConfig{Workers: *workers, Engines: narrowEngines}
 		if *quick {
 			ccfg.Blocks, ccfg.BlockSize, ccfg.PeerCounts = 2, 16, []int{1, 2}
 		}
-		// All engines by default; an explicit -engine narrows the sweep.
-		engSet := false
-		flag.Visit(func(f *flag.Flag) { engSet = engSet || f.Name == "engine" })
-		engLabel := "all"
-		if engSet {
-			ccfg.Engines = []engine.Kind{engKind}
-			engLabel = engKind.String()
-		}
 		ccfg = ccfg.WithDefaults()
 		fmt.Printf("blockbench: cluster sweep, workers=%d engine=%s peers=%v\n\n",
-			*workers, engLabel, ccfg.PeerCounts)
+			*workers, engNarrowLabel, ccfg.PeerCounts)
 		points, err := bench.SweepCluster(ccfg)
 		if err != nil {
 			return err
 		}
 		bench.WriteClusterSweep(os.Stdout, ccfg, points)
-		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				return fmt.Errorf("create csv: %w", err)
-			}
-			bench.WriteClusterCSV(f, points)
-			if err := f.Close(); err != nil {
-				return fmt.Errorf("close csv: %w", err)
-			}
-			fmt.Printf("wrote %s\n", *csvPath)
+		return writeCSV(*csvPath, func(w io.Writer) { bench.WriteClusterCSV(w, points) })
+	}
+
+	if *persistF {
+		pcfg := bench.PersistenceConfig{Workers: *workers, Engines: narrowEngines}
+		if *quick {
+			pcfg.Blocks, pcfg.BlockSize = 3, 16
 		}
-		return nil
+		pcfg = pcfg.WithDefaults()
+		fmt.Printf("blockbench: persistence sweep, workers=%d engine=%s\n\n", *workers, engNarrowLabel)
+		points, err := bench.SweepPersistence(pcfg)
+		if err != nil {
+			return err
+		}
+		bench.WritePersistenceSweep(os.Stdout, pcfg, points)
+		return writeCSV(*csvPath, func(w io.Writer) { bench.WritePersistenceCSV(w, points) })
 	}
 
 	engLabel := cfg.Engine.String()
@@ -142,18 +167,7 @@ func run() error {
 		for _, c := range cmps {
 			bench.WriteEngineComparison(os.Stdout, c)
 		}
-		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				return fmt.Errorf("create csv: %w", err)
-			}
-			bench.WriteEngineCSV(f, cmps)
-			if err := f.Close(); err != nil {
-				return fmt.Errorf("close csv: %w", err)
-			}
-			fmt.Printf("wrote %s\n", *csvPath)
-		}
-		return nil
+		return writeCSV(*csvPath, func(w io.Writer) { bench.WriteEngineCSV(w, cmps) })
 	}
 
 	figs, table, err := bench.RunAll(cfg, sizes, conflicts)
@@ -174,16 +188,5 @@ func run() error {
 	if all || *table1 {
 		bench.WriteTable1(os.Stdout, table)
 	}
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		bench.WriteCSV(f, figs)
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close csv: %w", err)
-		}
-		fmt.Printf("wrote %s\n", *csvPath)
-	}
-	return nil
+	return writeCSV(*csvPath, func(w io.Writer) { bench.WriteCSV(w, figs) })
 }

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread] [-engine serial|speculative|occ]
+//	        [-data DIR] [-sync-every 1] [-snap-every 256]
+//
+// With -data the node is durable: blocks append to a write-ahead log
+// before becoming visible, state snapshots are written every -snap-every
+// blocks, and a restart with the same -data recovers the chain (and the
+// pending mempool, saved on graceful shutdown via SIGINT/SIGTERM) by
+// replaying the WAL through the validator.
 //
 // Example session:
 //
@@ -22,16 +29,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"contractstm/internal/contract"
 	"contractstm/internal/contracts"
 	"contractstm/internal/engine"
 	"contractstm/internal/gas"
 	"contractstm/internal/node"
+	"contractstm/internal/persist"
 	"contractstm/internal/txpool"
 	"contractstm/internal/types"
 )
@@ -49,6 +62,9 @@ func run() error {
 		workers    = flag.Int("workers", 3, "miner/validator pool size")
 		policyName = flag.String("policy", "fifo", `block selection: "fifo" or "spread"`)
 		engName    = flag.String("engine", "speculative", `execution engine: "serial", "speculative" or "occ"`)
+		dataDir    = flag.String("data", "", "durable data directory (empty = in-memory only)")
+		syncEvery  = flag.Int("sync-every", 1, "fsync the WAL every N blocks (negative = never)")
+		snapEvery  = flag.Int("snap-every", persist.DefaultSnapshotEvery, "write a state snapshot every N blocks (negative = never)")
 	)
 	flag.Parse()
 
@@ -70,13 +86,47 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	n, err := node.New(node.Config{World: world, Workers: *workers, SelectionPolicy: policy, Engine: engKind})
+	n, err := node.New(node.Config{
+		World: world, Workers: *workers, SelectionPolicy: policy, Engine: engKind,
+		DataDir: *dataDir,
+		Persist: persist.Options{SyncEvery: *syncEvery, SnapshotEvery: *snapEvery},
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("nodesrv listening on %s (workers=%d, policy=%s, engine=%s)\n", *addr, *workers, *policyName, engKind)
+	if *dataDir != "" {
+		st := n.CurrentStatus()
+		fmt.Printf("durable: data=%s height=%d recovered=%d blocks, pool=%d pending\n",
+			*dataDir, st.Height, st.RecoveredBlocks, st.PoolLen)
+	}
 	printDemoAddresses()
-	return http.ListenAndServe(*addr, n.Handler())
+
+	srv := &http.Server{Addr: *addr, Handler: n.Handler()}
+	if *dataDir == "" {
+		return srv.ListenAndServe()
+	}
+	// Durable nodes shut down gracefully so the pending mempool is saved
+	// and the WAL is cleanly synced.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := n.Close(); err != nil {
+		return err
+	}
+	fmt.Println("nodesrv: state and mempool saved, bye")
+	return nil
 }
 
 // Demo genesis: four contracts at deterministic addresses and ten funded

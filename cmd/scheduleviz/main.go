@@ -46,7 +46,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	kind, err := parseKind(*kindName)
+	kind, err := workload.ParseKind(*kindName)
 	if err != nil {
 		return err
 	}
@@ -113,15 +113,6 @@ func run() error {
 		}
 	}
 	return nil
-}
-
-func parseKind(name string) (workload.Kind, error) {
-	for _, k := range append(workload.Kinds(), workload.KindToken) {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown kind %q", name)
 }
 
 func writeDOT(res miner.Result, wl *workload.Workload) {

@@ -9,4 +9,15 @@
 // examples/ for runnable entry points. The root package carries the
 // repository-level benchmarks (bench_test.go), one per table and figure of
 // the paper.
+//
+// Layers, bottom up: types/crypto/gas (primitives and the cost model),
+// des/runtime (deterministic simulated time), stm/storage (abstract locks
+// and boosted objects), contract/contracts (execution environment and the
+// paper's benchmark contracts), sched/forkjoin (published schedules and
+// their deterministic replay), engine (pluggable block execution: serial,
+// speculative, OCC), miner/validator (seal and check blocks), chain (hash-
+// linked blocks and the wire codec), txpool (mempool and selection
+// policies), persist (block WAL, state snapshots, crash recovery), node
+// (the HTTP-served node), cluster (multi-node propagation, catch-up sync
+// and snapshot fast-sync), workload/stats/bench (the evaluation harness).
 package contractstm

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"contractstm/internal/engine"
+	"contractstm/internal/node"
+	"contractstm/internal/persist"
+	"contractstm/internal/workload"
+)
+
+// The persistence sweep measures what durability costs: the same
+// mine-N-blocks pipeline under no persistence, a WAL fsynced every
+// block, a WAL never fsynced, and a WAL with frequent state snapshots.
+// Wall-clock by nature — the file system sits on the measured path, in
+// the NDN-DPDK spirit that throughput claims only count against the real
+// I/O path.
+
+// PersistMode is one durability configuration of the sweep.
+type PersistMode struct {
+	// Name labels the mode in reports.
+	Name string
+	// Durable enables the data dir at all.
+	Durable bool
+	// Opts tunes the WAL when durable.
+	Opts persist.Options
+}
+
+// PersistModes is the default durability axis.
+func PersistModes() []PersistMode {
+	return []PersistMode{
+		{Name: "none", Durable: false},
+		{Name: "wal-sync", Durable: true, Opts: persist.Options{SyncEvery: 1, SnapshotEvery: -1}},
+		{Name: "wal-nosync", Durable: true, Opts: persist.Options{SyncEvery: -1, SnapshotEvery: -1}},
+		{Name: "wal+snap", Durable: true, Opts: persist.Options{SyncEvery: 1, SnapshotEvery: 4}},
+	}
+}
+
+// PersistenceConfig tunes the persistence sweep.
+type PersistenceConfig struct {
+	// Kind selects the workload (default Token).
+	Kind workload.Kind
+	// BlockSize is transactions per block (default 64).
+	BlockSize int
+	// Blocks is how many blocks each point mines (default 8).
+	Blocks int
+	// ConflictPercent follows the ClusterConfig convention: 0 = default
+	// (15), negative = conflict-free.
+	ConflictPercent int
+	// Workers is the node's pool size (default 3).
+	Workers int
+	// Seed makes workload generation deterministic (default DefaultSeed).
+	Seed int64
+	// Engines lists the engines to measure (default all).
+	Engines []engine.Kind
+	// Modes lists the durability configurations (default PersistModes).
+	Modes []PersistMode
+}
+
+// WithDefaults returns c with every unset field at its default.
+func (c PersistenceConfig) WithDefaults() PersistenceConfig {
+	if c.Kind == 0 {
+		c.Kind = workload.KindToken
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 8
+	}
+	if c.ConflictPercent == 0 {
+		c.ConflictPercent = SweepConflictFixed
+	} else if c.ConflictPercent < 0 {
+		c.ConflictPercent = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = engine.Kinds()
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = PersistModes()
+	}
+	return c
+}
+
+// PersistPoint is one (engine, durability mode) measurement.
+type PersistPoint struct {
+	Engine engine.Kind
+	Mode   string
+	Blocks int
+	Txs    int
+	// Elapsed covers mining every block, including WAL appends, fsyncs
+	// and snapshot writes as the mode dictates.
+	Elapsed      time.Duration
+	BlocksPerSec float64
+	TxsPerSec    float64
+	// WalBytes is the on-disk WAL+snapshot footprint after the run
+	// (0 for the in-memory mode).
+	WalBytes int64
+}
+
+// MeasurePersistence runs one point: mine cfg.Blocks blocks on a single
+// node under the given durability mode, in a throwaway data directory.
+func MeasurePersistence(eng engine.Kind, mode PersistMode, cfg PersistenceConfig) (PersistPoint, error) {
+	cfg = cfg.WithDefaults()
+	totalTxs := cfg.Blocks * cfg.BlockSize
+	wl, err := workload.Generate(workload.Params{
+		Kind: cfg.Kind, Transactions: totalTxs,
+		ConflictPercent: cfg.ConflictPercent, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return PersistPoint{}, fmt.Errorf("bench: persistence workload: %w", err)
+	}
+	ncfg := node.Config{World: wl.World, Workers: cfg.Workers, Engine: eng}
+	var dir string
+	if mode.Durable {
+		dir, err = os.MkdirTemp("", "persistbench-")
+		if err != nil {
+			return PersistPoint{}, fmt.Errorf("bench: persistence dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		ncfg.DataDir, ncfg.Persist = dir, mode.Opts
+	}
+	n, err := node.New(ncfg)
+	if err != nil {
+		return PersistPoint{}, fmt.Errorf("bench: persistence node: %w", err)
+	}
+	n.SubmitAll(wl.Calls)
+
+	start := time.Now()
+	for b := 0; b < cfg.Blocks; b++ {
+		if _, err := n.MineOne(cfg.BlockSize); err != nil {
+			return PersistPoint{}, fmt.Errorf("bench: persistence mine block %d (%v, %s): %w", b+1, eng, mode.Name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := n.Close(); err != nil {
+		return PersistPoint{}, fmt.Errorf("bench: persistence close: %w", err)
+	}
+
+	pt := PersistPoint{Engine: eng, Mode: mode.Name, Blocks: cfg.Blocks, Txs: totalTxs, Elapsed: elapsed}
+	if s := elapsed.Seconds(); s > 0 {
+		pt.BlocksPerSec = float64(cfg.Blocks) / s
+		pt.TxsPerSec = float64(totalTxs) / s
+	}
+	if dir != "" {
+		pt.WalBytes = dirSize(dir)
+	}
+	return pt, nil
+}
+
+// dirSize sums the file sizes under dir (best effort).
+func dirSize(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// SweepPersistence measures every (engine, mode) combination.
+func SweepPersistence(cfg PersistenceConfig) ([]PersistPoint, error) {
+	cfg = cfg.WithDefaults()
+	var out []PersistPoint
+	for _, eng := range cfg.Engines {
+		for _, mode := range cfg.Modes {
+			pt, err := MeasurePersistence(eng, mode, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WritePersistenceCSV emits every durability data point as CSV.
+func WritePersistenceCSV(w io.Writer, points []PersistPoint) {
+	fmt.Fprintln(w, "engine,mode,blocks,txs,elapsed_ns,blocks_per_sec,txs_per_sec,disk_bytes")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.2f,%.2f,%d\n",
+			p.Engine, p.Mode, p.Blocks, p.Txs, p.Elapsed.Nanoseconds(), p.BlocksPerSec, p.TxsPerSec, p.WalBytes)
+	}
+}
+
+// WritePersistenceSweep renders the durability sweep as an aligned table.
+func WritePersistenceSweep(w io.Writer, cfg PersistenceConfig, points []PersistPoint) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "Persistence sweep [%s]: %d blocks × %d txs, %d%% conflict, wall-clock incl. disk\n",
+		cfg.Kind, cfg.Blocks, cfg.BlockSize, cfg.ConflictPercent)
+	fmt.Fprintf(w, "  %-13s %-11s %-12s %-12s %-12s %-10s\n", "engine", "mode", "elapsed", "blocks/s", "txs/s", "disk")
+	for _, p := range points {
+		disk := "-"
+		if p.WalBytes > 0 {
+			disk = fmt.Sprintf("%.1f KiB", float64(p.WalBytes)/1024)
+		}
+		fmt.Fprintf(w, "  %-13s %-11s %-12s %-12.1f %-12.1f %-10s\n",
+			p.Engine, p.Mode, p.Elapsed.Round(time.Millisecond), p.BlocksPerSec, p.TxsPerSec, disk)
+	}
+	fmt.Fprintln(w)
+}

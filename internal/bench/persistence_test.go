@@ -1,0 +1,50 @@
+package bench
+
+// Persistence sweep smoke test: a tiny durability matrix, so plain
+// `go test ./...` exercises the measured pipeline — node with WAL,
+// fsync policies, snapshots, graceful close — end to end.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"contractstm/internal/engine"
+)
+
+func TestPersistenceSweepSmoke(t *testing.T) {
+	cfg := PersistenceConfig{
+		Blocks: 2, BlockSize: 8, Workers: 2,
+		Engines: []engine.Kind{engine.KindSerial, engine.KindOCC},
+	}
+	points, err := SweepPersistence(cfg)
+	if err != nil {
+		t.Fatalf("SweepPersistence: %v", err)
+	}
+	wantPoints := 2 * len(PersistModes())
+	if len(points) != wantPoints {
+		t.Fatalf("%d points, want %d", len(points), wantPoints)
+	}
+	for _, p := range points {
+		if p.BlocksPerSec <= 0 || p.TxsPerSec <= 0 {
+			t.Fatalf("%v/%s: non-positive throughput", p.Engine, p.Mode)
+		}
+		durable := p.Mode != "none"
+		if durable && p.WalBytes == 0 {
+			t.Fatalf("%v/%s: durable mode left no bytes on disk", p.Engine, p.Mode)
+		}
+		if !durable && p.WalBytes != 0 {
+			t.Fatalf("%v/%s: in-memory mode reported disk bytes", p.Engine, p.Mode)
+		}
+	}
+
+	var tbl, csv bytes.Buffer
+	WritePersistenceSweep(&tbl, cfg, points)
+	WritePersistenceCSV(&csv, points)
+	if !strings.Contains(tbl.String(), "wal-sync") || !strings.Contains(csv.String(), "wal+snap") {
+		t.Fatal("reports missing durability modes")
+	}
+	if got := strings.Count(csv.String(), "\n"); got != wantPoints+1 {
+		t.Fatalf("csv has %d lines, want %d", got, wantPoints+1)
+	}
+}

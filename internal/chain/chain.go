@@ -163,9 +163,16 @@ func VerifyCommitments(b Block) error {
 	return nil
 }
 
-// Chain is an append-only hash-linked sequence of blocks.
+// Chain is an append-only hash-linked sequence of blocks. A chain is
+// normally rooted at genesis, but it can also be rooted at a trusted
+// checkpoint header (NewAt) — a state snapshot's header — in which case
+// blocks below the checkpoint are pruned: height queries under the base
+// answer "not held" rather than failing.
 type Chain struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// base is the height of blocks[0]: 0 for a genesis-rooted chain, the
+	// snapshot height for a checkpoint-rooted one.
+	base   uint64
 	blocks []Block
 }
 
@@ -177,8 +184,24 @@ func GenesisHeader(stateRoot types.Hash) Header {
 
 // New creates a chain whose genesis commits to the given initial state.
 func New(stateRoot types.Hash) *Chain {
-	genesis := Block{Header: GenesisHeader(stateRoot)}
-	return &Chain{blocks: []Block{genesis}}
+	return NewAt(GenesisHeader(stateRoot))
+}
+
+// NewAt creates a chain rooted at a trusted checkpoint header: the
+// snapshot fast-sync and snapshot recovery paths resume a chain at a
+// state snapshot's height without holding the blocks underneath it. The
+// checkpoint block is header-only, exactly like genesis; for h.Number 0
+// this is New.
+func NewAt(h Header) *Chain {
+	return &Chain{base: h.Number, blocks: []Block{{Header: h}}}
+}
+
+// Base returns the height of the oldest block the chain holds: 0 for a
+// genesis-rooted chain, the checkpoint height for a pruned one.
+func (c *Chain) Base() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
 }
 
 // Head returns the latest block.
@@ -188,21 +211,24 @@ func (c *Chain) Head() Block {
 	return c.blocks[len(c.blocks)-1]
 }
 
-// Length returns the number of blocks including genesis.
+// Length returns the number of blocks held, including the root
+// (genesis or checkpoint) block. For a genesis-rooted chain this is
+// head height + 1.
 func (c *Chain) Length() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.blocks)
 }
 
-// BlockAt returns the block at the given height.
+// BlockAt returns the block at the given height. Heights below the base
+// of a pruned chain answer "not held", like heights above the head.
 func (c *Chain) BlockAt(n uint64) (Block, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if n >= uint64(len(c.blocks)) {
+	if n < c.base || n-c.base >= uint64(len(c.blocks)) {
 		return Block{}, false
 	}
-	return c.blocks[n], true
+	return c.blocks[n-c.base], true
 }
 
 // HashAt returns the hash of the block at the given height, if any. It is
@@ -211,10 +237,10 @@ func (c *Chain) BlockAt(n uint64) (Block, bool) {
 func (c *Chain) HashAt(n uint64) (types.Hash, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if n >= uint64(len(c.blocks)) {
+	if n < c.base || n-c.base >= uint64(len(c.blocks)) {
 		return types.Hash{}, false
 	}
-	return c.blocks[n].Header.Hash(), true
+	return c.blocks[n-c.base].Header.Hash(), true
 }
 
 // Append verifies linkage and commitments, then appends the block.

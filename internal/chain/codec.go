@@ -3,9 +3,9 @@ package chain
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"contractstm/internal/types"
 )
@@ -23,10 +23,37 @@ import (
 // wireVersion guards against decoding blocks from incompatible builds.
 const wireVersion uint32 = 1
 
-// MaxWireBlock bounds one block's wire encoding; both the node's block
-// upload handler and the cluster peer client cap reads at this, so the
-// serve and fetch sides can never disagree on what fits.
+// MaxWireBlock bounds one block's wire encoding; the node's block upload
+// handler, the cluster peer client and the persistence WAL all cap reads
+// at this, so the serve, fetch and recovery sides can never disagree on
+// what fits. DecodeBlock additionally enforces the bound itself, so a
+// caller that forgets the LimitReader still cannot be fed an unbounded
+// stream.
 const MaxWireBlock = 64 << 20
+
+// ErrTooLarge reports a wire stream that exceeds MaxWireBlock before one
+// block finished decoding.
+var ErrTooLarge = errors.New("chain: wire block exceeds MaxWireBlock")
+
+// cappedReader fails with ErrTooLarge once more than its budget has been
+// read, unlike io.LimitReader's silent EOF truncation: decode errors then
+// say "too large", not "unexpected EOF".
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, ErrTooLarge
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}
 
 // wireBlock is the on-the-wire envelope.
 type wireBlock struct {
@@ -34,19 +61,7 @@ type wireBlock struct {
 	Block   Block
 }
 
-var registerOnce sync.Once
-
-func registerWireTypes() {
-	registerOnce.Do(func() {
-		gob.Register(uint64(0))
-		gob.Register(int(0))
-		gob.Register(false)
-		gob.Register("")
-		gob.Register(types.Address{})
-		gob.Register(types.Hash{})
-		gob.Register(types.Amount(0))
-	})
-}
+func registerWireTypes() { types.RegisterWireValues() }
 
 // EncodeBlock writes b to w in wire format.
 func EncodeBlock(w io.Writer, b Block) error {
@@ -60,12 +75,25 @@ func EncodeBlock(w io.Writer, b Block) error {
 
 // DecodeBlock reads one block from r and verifies its header commitments
 // against the decoded body; it does NOT re-execute (that is the
-// validator's job).
+// validator's job). Input is untrusted: the stream is size-capped at
+// MaxWireBlock, and any malformed input — truncated, version-skewed,
+// corrupted — returns an error, never panics. The persistence WAL feeds
+// disk bytes straight into this path on crash recovery.
 func DecodeBlock(r io.Reader) (Block, error) {
+	return decodeBlockCapped(r, MaxWireBlock)
+}
+
+// decodeBlockCapped is DecodeBlock with an explicit byte budget (tests
+// exercise the budget without building a 64 MB block).
+func decodeBlockCapped(r io.Reader, budget int64) (Block, error) {
 	registerWireTypes()
-	dec := gob.NewDecoder(r)
+	cr := &cappedReader{r: r, remaining: budget}
+	dec := gob.NewDecoder(cr)
 	var wb wireBlock
 	if err := dec.Decode(&wb); err != nil {
+		if cr.remaining <= 0 {
+			return Block{}, fmt.Errorf("chain: decode block: %w", ErrTooLarge)
+		}
 		return Block{}, fmt.Errorf("chain: decode block: %w", err)
 	}
 	if wb.Version != wireVersion {

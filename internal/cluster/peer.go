@@ -32,11 +32,16 @@ import (
 	"time"
 
 	"contractstm/internal/chain"
+	"contractstm/internal/persist"
 	"contractstm/internal/types"
 )
 
 // ErrNoBlock reports a requested height the peer does not have.
 var ErrNoBlock = errors.New("cluster: peer has no block at height")
+
+// ErrNoSnapshot reports a peer that does not serve state checkpoints
+// (an older build); fast-sync falls back to full catch-up.
+var ErrNoSnapshot = errors.New("cluster: peer serves no snapshot")
 
 // RemoteError is a non-2xx response from a peer: the peer was reachable
 // and answered, so retrying without changing anything is usually futile
@@ -133,6 +138,34 @@ func (p *Peer) Block(ctx context.Context, height uint64) (chain.Block, error) {
 		return chain.Block{}, fmt.Errorf("cluster: block %d: %w", height, err)
 	}
 	return b, nil
+}
+
+// Snapshot fetches the peer's current state checkpoint (GET /snapshot):
+// the head header plus encoded world state. The decode path verifies the
+// frame checksum; the *claims* in the checkpoint are verified by
+// node.InstallSnapshot (state must hash to the header's root), and
+// trusting the header itself is the fast-sync trade-off.
+func (p *Peer) Snapshot(ctx context.Context) (persist.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/snapshot", nil)
+	if err != nil {
+		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot request: %w", err)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return persist.Snapshot{}, fmt.Errorf("%w (%s)", ErrNoSnapshot, p.base)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return persist.Snapshot{}, remoteError(resp)
+	}
+	s, err := persist.DecodeSnapshot(io.LimitReader(resp.Body, persist.MaxSnapshotWire))
+	if err != nil {
+		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	return s, nil
 }
 
 // SendBlock ships a sealed block to the peer for import. A 2xx answer —

@@ -14,6 +14,48 @@ import (
 // and no amount of catch-up fetching can reconcile them.
 var ErrDiverged = errors.New("cluster: chains diverged")
 
+// FastSyncResult reports what a FastSync did.
+type FastSyncResult struct {
+	// Installed reports whether a snapshot was adopted; SnapshotHeight
+	// is its height when so.
+	Installed      bool
+	SnapshotHeight uint64
+	// Imported counts blocks imported by the catch-up tail (each through
+	// full validation).
+	Imported int
+}
+
+// FastSync brings n up to date with the peer the fast way: fetch the
+// peer's state checkpoint, install it when it is ahead of the local
+// head, then catch-up Sync only the blocks after it — a late joiner
+// replays the tail instead of the whole chain. Peers that serve no
+// snapshot (or a stale one) degrade gracefully to plain Sync.
+//
+// Trust: the installed state must hash to the checkpoint header's state
+// root (node.InstallSnapshot refuses otherwise), and every block after
+// the checkpoint goes through full deterministic validation. The
+// checkpoint header itself is taken on faith, like a configured genesis
+// — that is the fast-sync trade-off, and nodes that must verify the
+// whole history should use Sync.
+func FastSync(ctx context.Context, n *node.Node, p *Peer) (FastSyncResult, error) {
+	var res FastSyncResult
+	s, err := p.Snapshot(ctx)
+	switch {
+	case errors.Is(err, ErrNoSnapshot):
+		// Older peer: full catch-up.
+	case err != nil:
+		return res, err
+	case s.Height() > n.Head().Header.Number:
+		if err := n.InstallSnapshot(s); err != nil {
+			return res, fmt.Errorf("cluster: fast-sync: %w", err)
+		}
+		res.Installed = true
+		res.SnapshotHeight = s.Height()
+	}
+	res.Imported, err = Sync(ctx, n, p)
+	return res, err
+}
+
 // Sync brings n up to date with the peer: while the peer's head is ahead,
 // fetch each missing height in order and import it through the node's
 // validator-gated AcceptBlock. It returns how many blocks were imported.

@@ -180,6 +180,27 @@ func (w *World) StateRoot() (types.Hash, error) { return w.store.StateRoot() }
 func (w *World) Snapshot() storage.Snapshot { return w.store.Snapshot() }
 func (w *World) Restore(s storage.Snapshot) { w.store.Restore(s) }
 
+// EncodeState renders the full world state as self-describing bytes for
+// durable persistence (state snapshots). The world must be quiescent —
+// at a block boundary, no transactions in flight.
+func (w *World) EncodeState() ([]byte, error) {
+	return w.store.EncodeSnapshot(w.store.Snapshot())
+}
+
+// RestoreState replaces the world state with previously encoded state.
+// The decoding world must have been built by the same genesis setup
+// (same objects, same contracts); mismatches are errors, not silent
+// corruption. Contract code and balances-of-record both live in the
+// store, so this is a complete state replacement.
+func (w *World) RestoreState(data []byte) error {
+	snap, err := w.store.DecodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("contract: restore state: %w", err)
+	}
+	w.store.Restore(snap)
+	return nil
+}
+
 // throwSignal is the panic payload of a contract throw.
 type throwSignal struct{ reason string }
 

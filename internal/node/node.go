@@ -12,10 +12,18 @@
 //	GET  /blocks/N                              → gob block bytes
 //	GET  /head                                  → header summary JSON
 //	GET  /status                                → height, pool depth, stats
+//	GET  /snapshot                              → state checkpoint (snapshot fast-sync)
 //
 // Transactions arrive as JSON with a small typed argument encoding (see
 // wireArg); blocks travel in the chain package's gob wire format so the
 // schedule metadata survives byte-exact.
+//
+// With Config.DataDir set the node is durable: every appended block goes
+// to a write-ahead log before it becomes visible, state snapshots are
+// written periodically, and New recovers a previous run's chain by
+// loading the newest snapshot and replaying the WAL tail through the
+// validator — so recovery re-verifies the published (S, H) schedules
+// exactly as a peer would.
 package node
 
 import (
@@ -28,12 +36,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
 	"contractstm/internal/engine"
 	"contractstm/internal/gas"
 	"contractstm/internal/miner"
+	"contractstm/internal/persist"
 	"contractstm/internal/runtime"
 	"contractstm/internal/txpool"
 	"contractstm/internal/types"
@@ -52,6 +62,15 @@ type Config struct {
 	SelectionPolicy txpool.Policy
 	// Engine selects the block-execution strategy (default speculative).
 	Engine engine.Kind
+	// DataDir, when non-empty, makes the node durable: blocks append to
+	// a WAL under this directory, state snapshots are written on the
+	// Persist cadence, and New transparently recovers a previous run's
+	// chain. World must be the same genesis world (same deterministic
+	// setup) the directory was created with.
+	DataDir string
+	// Persist tunes WAL fsync batching and snapshot cadence; zero values
+	// mean the persist package defaults. Ignored without DataDir.
+	Persist persist.Options
 }
 
 // Node is a single in-process blockchain node.
@@ -70,6 +89,25 @@ type Node struct {
 	runner  runtime.Runner
 	policy  txpool.Policy
 	eng     engine.Engine
+	// log is the durable persistence log (nil without Config.DataDir).
+	log *persist.Log
+	// snapEvery is the snapshot cadence in blocks (<=0 disables);
+	// sinceSnap counts appends since the last snapshot (both guarded by
+	// execMu, not n.mu — see maybeSnapshot).
+	snapEvery int
+	sinceSnap int
+	// snapshotErrs counts failed checkpoint writes (atomic: bumped under
+	// execMu, read by CurrentStatus under n.mu). Non-zero means the WAL
+	// is growing unpruned and recovery time with it — a durable node
+	// whose snapshots silently stopped is a monitoring fact, not a
+	// detail to swallow.
+	snapshotErrs atomic.Int64
+	// lastSnapHeight mirrors the log's newest snapshot height (atomic),
+	// so CurrentStatus never calls into the persist.Log — whose mutex
+	// Append/WriteSnapshot hold across fsyncs — while holding n.mu.
+	lastSnapHeight atomic.Uint64
+	// recoveredBlocks counts blocks replayed from the WAL by New.
+	recoveredBlocks int
 	// stats
 	minedBlocks     int
 	validatedBlocks int
@@ -101,7 +139,7 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: state root: %w", err)
 	}
-	return &Node{
+	n := &Node{
 		world:   cfg.World,
 		chain:   chain.New(root),
 		pool:    txpool.New(),
@@ -109,7 +147,163 @@ func New(cfg Config) (*Node, error) {
 		runner:  cfg.Runner,
 		policy:  cfg.SelectionPolicy,
 		eng:     eng,
-	}, nil
+	}
+	if cfg.DataDir != "" {
+		if err := n.openDurable(cfg, root); err != nil {
+			// Release the directory lock a partially-opened log holds, or
+			// the next open attempt would fail with ErrLocked instead of
+			// the real problem.
+			if n.log != nil {
+				_ = n.log.Close()
+			}
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// openDurable opens the persistence log and recovers a previous run:
+// restore the newest snapshot, replay the WAL tail through the
+// validator, and restore the saved mempool. A fresh directory records a
+// permanent genesis identity marker plus a restorable genesis snapshot;
+// every reopen verifies the marker, so a data dir from a different
+// genesis world fails loudly instead of being silently adopted — even
+// after snapshot retention has pruned the genesis snapshot itself.
+func (n *Node) openDurable(cfg Config, genesisRoot types.Hash) error {
+	log, err := persist.Open(cfg.DataDir, cfg.Persist)
+	if err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	opts := cfg.Persist.WithDefaults()
+	n.log = log
+	n.snapEvery = opts.SnapshotEvery
+
+	if err := log.EnsureGenesis(chain.GenesisHeader(genesisRoot)); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	snap := log.LatestSnapshot()
+	switch {
+	case snap == nil:
+		// Fresh directory: checkpoint genesis.
+		state, err := n.world.EncodeState()
+		if err != nil {
+			return fmt.Errorf("node: encode genesis state: %w", err)
+		}
+		if err := log.WriteSnapshot(persist.Snapshot{Header: chain.GenesisHeader(genesisRoot), State: state}); err != nil {
+			return fmt.Errorf("node: genesis snapshot: %w", err)
+		}
+	case snap.Height() == 0:
+		if snap.Header != chain.GenesisHeader(genesisRoot) {
+			return fmt.Errorf("node: data dir %s belongs to a different genesis (snapshot root %s, world root %s)",
+				cfg.DataDir, snap.Header.StateRoot.Short(), genesisRoot.Short())
+		}
+	default:
+		if err := n.world.RestoreState(snap.State); err != nil {
+			return fmt.Errorf("node: snapshot %d: %w", snap.Height(), err)
+		}
+		root, err := n.world.StateRoot()
+		if err != nil {
+			return fmt.Errorf("node: state root: %w", err)
+		}
+		if root != snap.Header.StateRoot {
+			return fmt.Errorf("node: snapshot %d state hashes to %s, header claims %s",
+				snap.Height(), root.Short(), snap.Header.StateRoot.Short())
+		}
+		n.chain = chain.NewAt(snap.Header)
+	}
+
+	// Replay the WAL tail through the full validation path: recovery
+	// re-verifies every published schedule, so corrupt-but-well-framed
+	// records cannot smuggle state in.
+	from := n.chain.Head().Header.Number + 1
+	if err := log.Blocks(from, func(b chain.Block) error {
+		if err := n.replayBlock(b); err != nil {
+			return err
+		}
+		n.recoveredBlocks++
+		return nil
+	}); err != nil {
+		return fmt.Errorf("node: recover: %w", err)
+	}
+
+	calls, err := log.TakePool()
+	if err != nil {
+		return fmt.Errorf("node: recover pool: %w", err)
+	}
+	if len(calls) > 0 {
+		n.pool.SubmitAll(calls)
+	}
+
+	// Resume the snapshot cadence where the previous run left it: the
+	// replayed WAL tail counts against it, and an overdue checkpoint is
+	// written now. Otherwise a node that crashes more often than every
+	// SnapshotEvery blocks would never snapshot past genesis, and its
+	// WAL — and recovery time — would grow without bound.
+	if s := log.LatestSnapshot(); s != nil {
+		n.lastSnapHeight.Store(s.Height())
+		n.sinceSnap = int(n.chain.Head().Header.Number - s.Height())
+		n.maybeSnapshot(0)
+	}
+	return nil
+}
+
+// replayBlock validates and appends one recovered block. Only New calls
+// it, before the node is shared, so no locking.
+func (n *Node) replayBlock(b chain.Block) error {
+	snap := n.world.Snapshot()
+	if _, err := validator.Validate(n.runner, n.world, b, validator.Config{Workers: n.workers}); err != nil {
+		n.world.Restore(snap)
+		return err
+	}
+	if err := n.chain.Append(b); err != nil {
+		n.world.Restore(snap)
+		return err
+	}
+	return nil
+}
+
+// RecoveredBlocks reports how many blocks New replayed from the WAL.
+func (n *Node) RecoveredBlocks() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.recoveredBlocks
+}
+
+// Close persists the pending mempool and cleanly closes the WAL. A node
+// without a DataDir has nothing to do. The node must be quiescent
+// (callers stop serving first); mining after Close fails on the closed
+// log.
+func (n *Node) Close() error {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.log == nil {
+		return nil
+	}
+	if err := n.log.SavePool(n.pool.PendingCalls()); err != nil {
+		return fmt.Errorf("node: close: %w", err)
+	}
+	if err := n.log.Close(); err != nil {
+		return fmt.Errorf("node: close: %w", err)
+	}
+	return nil
+}
+
+// Kill simulates a crash: the WAL file handles and the data-dir lock are
+// released so the directory can be reopened, but nothing graceful
+// happens — no pool save, no shutdown courtesy. The durable state is
+// exactly what the WAL already holds, which is the point: crash tests
+// and demos recover from this. (An actual process kill releases the
+// lock the same way, since advisory locks die with their descriptors.)
+func (n *Node) Kill() {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.log != nil {
+		_ = n.log.Close()
+	}
 }
 
 // Submit queues a transaction.
@@ -122,16 +316,25 @@ func (n *Node) SubmitAll(calls []contract.Call) { n.pool.SubmitAll(calls) }
 // PoolLen reports queued transactions.
 func (n *Node) PoolLen() int { return n.pool.Len() }
 
+// chainRef reads the chain pointer safely: InstallSnapshot swaps it at
+// runtime (holding both execMu and n.mu), so readers must hold one of
+// the two; the public accessors hold neither, hence this helper.
+func (n *Node) chainRef() *chain.Chain {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chain
+}
+
 // Height returns the chain height (genesis = 0).
 func (n *Node) Height() uint64 {
-	return n.chain.Head().Header.Number
+	return n.chainRef().Head().Header.Number
 }
 
 // Head returns the chain head.
-func (n *Node) Head() chain.Block { return n.chain.Head() }
+func (n *Node) Head() chain.Block { return n.chainRef().Head() }
 
 // BlockAt returns a block by height.
-func (n *Node) BlockAt(h uint64) (chain.Block, bool) { return n.chain.BlockAt(h) }
+func (n *Node) BlockAt(h uint64) (chain.Block, bool) { return n.chainRef().BlockAt(h) }
 
 // MineOne selects up to blockSize transactions, executes them with the
 // node's engine, appends the block and reports conflict feedback to the
@@ -165,21 +368,76 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 		return chain.Block{}, fmt.Errorf("node: mine: %w", err)
 	}
 
+	// WAL first: a block must be durable before it becomes visible.
+	// Persistence I/O runs under execMu alone — execMu already serializes
+	// every appender, and fsyncs must not stall status queries on n.mu.
+	// execMu also guarantees the seal raced nobody, so the chain append
+	// after a successful WAL write cannot fail short of a bug.
+	if err := n.persistBlock(res.Block); err != nil {
+		n.world.Restore(snap)
+		n.pool.Requeue(calls)
+		return chain.Block{}, fmt.Errorf("node: persist: %w", err)
+	}
+
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := n.chain.Append(res.Block); err != nil {
+	err = n.chain.Append(res.Block)
+	if err == nil {
+		var conflicted []contract.Call
+		for _, id := range res.Stats.RetriedTxs {
+			conflicted = append(conflicted, calls[id])
+		}
+		n.pool.ReportConflicts(conflicted)
+		n.minedBlocks++
+		n.totalRetries += res.Stats.Retries
+	}
+	n.mu.Unlock()
+	if err != nil {
 		n.world.Restore(snap)
 		n.pool.Requeue(calls)
 		return chain.Block{}, fmt.Errorf("node: append: %w", err)
 	}
-	var conflicted []contract.Call
-	for _, id := range res.Stats.RetriedTxs {
-		conflicted = append(conflicted, calls[id])
-	}
-	n.pool.ReportConflicts(conflicted)
-	n.minedBlocks++
-	n.totalRetries += res.Stats.Retries
+	n.maybeSnapshot(1)
 	return res.Block, nil
+}
+
+// persistBlock appends b to the WAL (no-op without persistence). Caller
+// holds execMu, which serializes all appenders; n.mu is not needed and
+// deliberately not held across the disk write.
+func (n *Node) persistBlock(b chain.Block) error {
+	if n.log == nil {
+		return nil
+	}
+	return n.log.Append(b)
+}
+
+// maybeSnapshot advances the cadence counter by delta blocks and writes
+// a state checkpoint when it is due. The world is exactly at the chain
+// head here: the caller holds execMu (which guards n.sinceSnap and keeps
+// the chain pointer stable; n.mu is deliberately NOT held across the
+// state encoding and snapshot fsyncs). A failed snapshot is dropped
+// rather than failing the block: the WAL already holds the block, so
+// durability is intact and only recovery speed suffers; the next cadence
+// tick tries again — and the failure shows in Status.SnapshotErrors.
+func (n *Node) maybeSnapshot(delta int) {
+	if n.log == nil || n.snapEvery <= 0 {
+		return
+	}
+	n.sinceSnap += delta
+	if n.sinceSnap < n.snapEvery {
+		return
+	}
+	n.sinceSnap = 0
+	state, err := n.world.EncodeState()
+	if err != nil {
+		n.snapshotErrs.Add(1)
+		return
+	}
+	head := n.chain.Head().Header
+	if err := n.log.WriteSnapshot(persist.Snapshot{Header: head, State: state}); err != nil {
+		n.snapshotErrs.Add(1)
+		return
+	}
+	n.lastSnapHeight.Store(head.Number)
 }
 
 // Errors reported by block import.
@@ -210,7 +468,13 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 	head := n.chain.Head().Header
 	n.mu.Unlock()
 	if b.Header.Number <= head.Number {
-		known, _ := n.chain.HashAt(b.Header.Number)
+		known, held := n.chain.HashAt(b.Header.Number)
+		if !held {
+			// A pruned (snapshot fast-synced) chain no longer holds this
+			// height and cannot distinguish a duplicate from a fork; old
+			// gossip on a converged chain is treated as already known.
+			return ErrAlreadyKnown
+		}
 		if known == b.Header.Hash() {
 			return ErrAlreadyKnown
 		}
@@ -232,14 +496,94 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 		return fmt.Errorf("node: %w", err)
 	}
 
+	// WAL first, under execMu alone — see MineOne.
+	if err := n.persistBlock(b); err != nil {
+		n.world.Restore(snap)
+		return fmt.Errorf("node: persist: %w", err)
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := n.chain.Append(b); err != nil {
+	err := n.chain.Append(b)
+	if err == nil {
+		n.validatedBlocks++
+	}
+	n.mu.Unlock()
+	if err != nil {
 		n.world.Restore(snap)
 		return fmt.Errorf("node: append: %w", err)
 	}
-	n.validatedBlocks++
+	n.maybeSnapshot(1)
 	return nil
+}
+
+// ErrStaleSnapshot reports an InstallSnapshot at or below the current
+// head: installing it would rewind a chain that is already ahead.
+var ErrStaleSnapshot = errors.New("node: snapshot not ahead of local head")
+
+// InstallSnapshot adopts a state checkpoint from a peer — the receiving
+// half of snapshot fast-sync. The encoded state must hash to the state
+// root the checkpoint header claims (self-consistency); trust in the
+// header itself is the fast-sync trade-off, exactly like trusting a
+// configured genesis. The chain restarts pruned at the checkpoint
+// height, the mempool is untouched, and a durable node drops its now
+// disconnected history and re-roots its log at the checkpoint.
+func (n *Node) InstallSnapshot(s persist.Snapshot) error {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s.Height() <= n.chain.Head().Header.Number {
+		return fmt.Errorf("%w: snapshot %d, head %d", ErrStaleSnapshot, s.Height(), n.chain.Head().Header.Number)
+	}
+	old := n.world.Snapshot()
+	if err := n.world.RestoreState(s.State); err != nil {
+		n.world.Restore(old)
+		return fmt.Errorf("node: install snapshot: %w", err)
+	}
+	root, err := n.world.StateRoot()
+	if err != nil {
+		n.world.Restore(old)
+		return fmt.Errorf("node: install snapshot: state root: %w", err)
+	}
+	if root != s.Header.StateRoot {
+		n.world.Restore(old)
+		return fmt.Errorf("node: install snapshot %d: state hashes to %s, header claims %s",
+			s.Height(), root.Short(), s.Header.StateRoot.Short())
+	}
+	n.chain = chain.NewAt(s.Header)
+	n.sinceSnap = 0
+	n.lastSnapHeight.Store(s.Height())
+	if n.log != nil {
+		if err := n.log.InstallSnapshot(s); err != nil {
+			// State is installed and consistent; only durability of the
+			// checkpoint failed. Surface it — the caller may retry sync
+			// into a healthier directory.
+			return fmt.Errorf("node: install snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// SnapshotNow returns a state checkpoint: a durable node serves its
+// newest persisted snapshot (cheap — no state encoding, no lock held
+// against mining; the fast-syncing peer replays the tail through full
+// validation anyway), a non-durable node generates one at the current
+// head on the spot (holding execMu, so the world is at a block
+// boundary). This is what GET /snapshot serves, which is why any node
+// can seed a fast-syncing late joiner.
+func (n *Node) SnapshotNow() (persist.Snapshot, error) {
+	if n.log != nil {
+		if s := n.log.LatestSnapshot(); s != nil {
+			return *s, nil
+		}
+	}
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	head := n.chain.Head().Header
+	state, err := n.world.EncodeState()
+	if err != nil {
+		return persist.Snapshot{}, fmt.Errorf("node: snapshot: %w", err)
+	}
+	return persist.Snapshot{Header: head, State: state}, nil
 }
 
 // Status summarizes the node.
@@ -251,6 +595,17 @@ type Status struct {
 	MinedBlocks     int        `json:"minedBlocks"`
 	ValidatedBlocks int        `json:"validatedBlocks"`
 	TotalRetries    int        `json:"totalRetries"`
+	// Persistent reports whether the node runs with a durable data dir;
+	// RecoveredBlocks and SnapshotHeight describe its recovery state.
+	// SnapshotErrors counts failed checkpoint writes since start — any
+	// non-zero value means the WAL is growing unpruned.
+	Persistent      bool   `json:"persistent"`
+	RecoveredBlocks int    `json:"recoveredBlocks,omitempty"`
+	SnapshotHeight  uint64 `json:"snapshotHeight,omitempty"`
+	SnapshotErrors  int64  `json:"snapshotErrors,omitempty"`
+	// ChainBase is the oldest height the node still holds (non-zero on a
+	// fast-synced, pruned node).
+	ChainBase uint64 `json:"chainBase,omitempty"`
 }
 
 // CurrentStatus snapshots node statistics. It never blocks behind an
@@ -259,7 +614,7 @@ func (n *Node) CurrentStatus() Status {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	head := n.chain.Head()
-	return Status{
+	st := Status{
 		Height:          head.Header.Number,
 		HeadHash:        head.Header.Hash(),
 		PoolLen:         n.pool.Len(),
@@ -267,7 +622,15 @@ func (n *Node) CurrentStatus() Status {
 		MinedBlocks:     n.minedBlocks,
 		ValidatedBlocks: n.validatedBlocks,
 		TotalRetries:    n.totalRetries,
+		ChainBase:       n.chain.Base(),
 	}
+	if n.log != nil {
+		st.Persistent = true
+		st.RecoveredBlocks = n.recoveredBlocks
+		st.SnapshotErrors = n.snapshotErrs.Load()
+		st.SnapshotHeight = n.lastSnapHeight.Load()
+	}
+	return st
 }
 
 // --- HTTP layer -----------------------------------------------------------
@@ -345,6 +708,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /blocks/{height}", n.handleGetBlock)
 	mux.HandleFunc("GET /head", n.handleHead)
 	mux.HandleFunc("GET /status", n.handleStatus)
+	mux.HandleFunc("GET /snapshot", n.handleSnapshot)
 	return mux
 }
 
@@ -466,6 +830,31 @@ func (n *Node) handleHead(w http.ResponseWriter, r *http.Request) {
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, n.CurrentStatus())
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// Durable nodes serve the cached framed bytes: the snapshot is
+	// immutable between writes, so per-request re-encoding would be
+	// pure waste on the fast-sync seeding path.
+	if n.log != nil {
+		if raw := n.log.LatestSnapshotWire(); raw != nil {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(raw)
+			return
+		}
+	}
+	s, err := n.SnapshotNow()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := persist.EncodeSnapshot(&buf, s); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // headerSummary is the JSON view of a block header plus body sizes.

@@ -1,0 +1,104 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/types"
+)
+
+// Mempool persistence: a graceful shutdown saves the still-pending calls
+// so a restarted node's pool picks up where it left off (submitted but
+// unmined transactions must not evaporate across a restart). The file is
+// consumed on recovery — loading deletes it — so a later crash can never
+// resurrect calls that were already mined in between.
+
+// poolFile is the mempool save file name inside a data directory.
+const poolFile = "pool.gob"
+
+// maxPoolBytes bounds the pool file read (a pool is bounded by client
+// traffic, not block size; 256 MB is far beyond any sane backlog).
+const maxPoolBytes = 256 << 20
+
+// registerPoolTypes registers the call-argument types (the shared wire
+// value set) for gob round-tripping of []contract.Call.
+func registerPoolTypes() { types.RegisterWireValues() }
+
+// SavePool atomically writes the pending calls to the data directory.
+// An empty slice removes any existing save (nothing pending).
+func (l *Log) SavePool(calls []contract.Call) error {
+	path := filepath.Join(l.dir, poolFile)
+	if len(calls) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: clear pool: %w", err)
+		}
+		return nil
+	}
+	registerPoolTypes()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(calls); err != nil {
+		return fmt.Errorf("persist: encode pool: %w", err)
+	}
+	// Enforce the read-side cap at write time: a save TakePool could
+	// never read back would brick every restart until the operator
+	// deletes the file by hand. Refusing here loses only the pool, never
+	// the chain.
+	if buf.Len() > maxPoolBytes {
+		return fmt.Errorf("persist: pool encodes to %d bytes, max %d: refusing to save an unloadable file",
+			buf.Len(), maxPoolBytes)
+	}
+	tmp, err := os.CreateTemp(l.dir, "pool-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: pool temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeFrame(tmp, buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: write pool: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: pool sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: pool close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: pool rename: %w", err)
+	}
+	l.syncDir()
+	return nil
+}
+
+// TakePool loads and consumes the saved mempool: the file is removed on
+// a successful read so the calls are restored exactly once. A missing
+// file returns (nil, nil); a damaged file is an error (clients' calls
+// should not vanish silently).
+func (l *Log) TakePool() ([]contract.Call, error) {
+	registerPoolTypes()
+	path := filepath.Join(l.dir, poolFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: open pool: %w", err)
+	}
+	payload, err := readFrame(f, maxPoolBytes)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("persist: read pool: %w", err)
+	}
+	var calls []contract.Call
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&calls); err != nil {
+		return nil, fmt.Errorf("persist: decode pool: %w", err)
+	}
+	if err := os.Remove(path); err != nil {
+		return nil, fmt.Errorf("persist: consume pool: %w", err)
+	}
+	return calls, nil
+}

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"contractstm/internal/types"
+)
+
+// Snapshot serialization: a Snapshot's contents are positional (indexed by
+// registration order), which is useless across process restarts, so the
+// wire form pairs every object's contents with its name. Decoding aligns
+// the named contents back to the decoding store's objects — recovery
+// requires the same genesis setup to have registered the same objects,
+// and any mismatch is an error rather than silent state corruption.
+
+// snapshotEntry is one object's named contents on the wire.
+type snapshotEntry struct {
+	Name    string
+	Content any
+}
+
+// nilValue stands in for nil on the wire: gob refuses to encode nil
+// interface values, but an empty cell or an unset array element is
+// legitimately nil.
+type nilValue struct{}
+
+// wireContent replaces nils inside the supported content shapes (cell
+// scalar, map contents, array contents) with the nilValue sentinel.
+func wireContent(c any) any {
+	switch x := c.(type) {
+	case nil:
+		return nilValue{}
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, v := range x {
+			if v == nil {
+				v = nilValue{}
+			}
+			out[k] = v
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i, v := range x {
+			if v == nil {
+				v = nilValue{}
+			}
+			out[i] = v
+		}
+		return out
+	default:
+		return c
+	}
+}
+
+// localContent is wireContent's inverse.
+func localContent(c any) any {
+	switch x := c.(type) {
+	case nilValue:
+		return nil
+	case map[string]any:
+		for k, v := range x {
+			if _, isNil := v.(nilValue); isNil {
+				x[k] = nil
+			}
+		}
+		return x
+	case []any:
+		for i, v := range x {
+			if _, isNil := v.(nilValue); isNil {
+				x[i] = nil
+			}
+		}
+		return x
+	default:
+		return c
+	}
+}
+
+var persistRegisterOnce sync.Once
+
+// registerPersistTypes registers the value shapes every boosted object can
+// hold: the container types (map contents, array contents), the nil
+// sentinel, and the shared scalar kinds. Contract-defined struct values
+// register themselves via RegisterValueType.
+func registerPersistTypes() {
+	persistRegisterOnce.Do(func() {
+		gob.Register(map[string]any{})
+		gob.Register([]any{})
+		gob.Register(nilValue{})
+	})
+	types.RegisterWireValues()
+}
+
+// RegisterValueType registers a concrete type contracts store in boosted
+// objects (for example Ballot's Voter record) so snapshots holding such
+// values can round-trip through EncodeSnapshot/DecodeSnapshot. Contract
+// packages call it from init; registering the same type twice is harmless.
+func RegisterValueType(v any) {
+	gob.Register(v)
+}
+
+// EncodeSnapshot renders a snapshot taken from s as self-describing bytes
+// (object names paired with contents) for durable persistence.
+func (s *Store) EncodeSnapshot(snap Snapshot) ([]byte, error) {
+	registerPersistTypes()
+	s.mu.Lock()
+	names := make([]string, len(s.objects))
+	for i, o := range s.objects {
+		names[i] = o.objectName()
+	}
+	s.mu.Unlock()
+	if len(snap.contents) != len(names) {
+		return nil, fmt.Errorf("storage: snapshot has %d objects, store has %d", len(snap.contents), len(names))
+	}
+	entries := make([]snapshotEntry, len(names))
+	for i, name := range names {
+		entries[i] = snapshotEntry{Name: name, Content: wireContent(snap.contents[i])}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, fmt.Errorf("storage: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses bytes produced by EncodeSnapshot into a Snapshot
+// aligned with s's current objects, matched by name. The object sets must
+// agree exactly: a recovering process rebuilds its genesis world with the
+// same deterministic setup, so any difference means the bytes belong to a
+// different world.
+func (s *Store) DecodeSnapshot(data []byte) (Snapshot, error) {
+	registerPersistTypes()
+	var entries []snapshotEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+		return Snapshot{}, fmt.Errorf("storage: decode snapshot: %w", err)
+	}
+	byName := make(map[string]any, len(entries))
+	for _, e := range entries {
+		if _, dup := byName[e.Name]; dup {
+			return Snapshot{}, fmt.Errorf("storage: snapshot names %q twice", e.Name)
+		}
+		byName[e.Name] = e.Content
+	}
+
+	s.mu.Lock()
+	objs := make([]object, len(s.objects))
+	copy(objs, s.objects)
+	s.mu.Unlock()
+
+	if len(objs) != len(entries) {
+		return Snapshot{}, fmt.Errorf("storage: snapshot has %d objects, store has %d", len(entries), len(objs))
+	}
+	snap := Snapshot{contents: make([]any, len(objs))}
+	for i, o := range objs {
+		content, ok := byName[o.objectName()]
+		if !ok {
+			return Snapshot{}, fmt.Errorf("storage: snapshot missing object %q", o.objectName())
+		}
+		snap.contents[i] = localContent(content)
+	}
+	return snap, nil
+}

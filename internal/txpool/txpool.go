@@ -176,6 +176,19 @@ func (p *Pool) Len() int {
 	return len(p.queue)
 }
 
+// PendingCalls returns a copy of every queued call in queue order: the
+// persistence layer saves these on shutdown so a restarted node's
+// mempool picks up where it left off.
+func (p *Pool) PendingCalls() []contract.Call {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]contract.Call, len(p.queue))
+	for i, pe := range p.queue {
+		out[i] = pe.call
+	}
+	return out
+}
+
 // The spread policy uses two static conflict hints:
 //
 //   - senderHint (contract, sender): two calls from one sender to one

@@ -1,0 +1,26 @@
+package types
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+var gobOnce sync.Once
+
+// RegisterWireValues registers, once, the scalar value kinds that cross
+// gob serialization boundaries as interface contents: contract call
+// arguments (block wire codec, mempool save file) and boosted-storage
+// values (state snapshots). Every gob-speaking layer calls this instead
+// of keeping its own copy of the list, so adding a value kind is a
+// one-place change.
+func RegisterWireValues() {
+	gobOnce.Do(func() {
+		gob.Register(uint64(0))
+		gob.Register(int(0))
+		gob.Register(false)
+		gob.Register("")
+		gob.Register(Address{})
+		gob.Register(Hash{})
+		gob.Register(Amount(0))
+	})
+}

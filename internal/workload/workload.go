@@ -12,6 +12,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"contractstm/internal/contract"
 	"contractstm/internal/contracts"
@@ -71,6 +72,28 @@ func (k Kind) String() string {
 // Kinds lists the paper's four benchmarks in presentation order.
 func Kinds() []Kind {
 	return []Kind{KindBallot, KindAuction, KindEtherDoc, KindMixed}
+}
+
+// AllKinds lists every workload, the paper's four plus the extensions.
+func AllKinds() []Kind {
+	return append(Kinds(), KindToken, KindDelegation)
+}
+
+// ParseKind parses a workload name as commands accept it: the String()
+// form ("SimpleAuction") or the short flag form ("auction"), case-
+// insensitive. The one place the name→kind mapping lives, so a new
+// workload is wired into every command at once.
+func ParseKind(s string) (Kind, error) {
+	lower := strings.ToLower(s)
+	if lower == "auction" {
+		return KindAuction, nil
+	}
+	for _, k := range AllKinds() {
+		if strings.ToLower(k.String()) == lower {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q", s)
 }
 
 // Params parameterizes one generated block.
