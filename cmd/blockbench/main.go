@@ -13,6 +13,8 @@
 //	blockbench -engine occ         # run the sweeps with a specific engine as the miner
 //	blockbench -cluster            # multi-node sweep: blocks/s across 1-4 validating peers
 //	blockbench -persist            # durability sweep: no persistence vs WAL (sync/nosync) vs WAL+snapshots
+//	blockbench -pipeline 4         # pipeline sweep: blocks/s at depths 1,2,4 under WAL-synced persistence
+//	blockbench -pipeline 2 -blocks 8  # short smoke: depths 1,2 over 8 blocks
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
 //	blockbench -workers 3 -runs 5  # pool size and repetitions
@@ -72,12 +74,14 @@ func run() error {
 		engines   = flag.Bool("engines", false, "print the engine comparison (every benchmark under every engine)")
 		clusterF  = flag.Bool("cluster", false, "run the multi-node propagation sweep (wall-clock, 1-4 validating peers per engine)")
 		persistF  = flag.Bool("persist", false, "run the durability sweep (wall-clock, no-persistence vs WAL sync/nosync vs WAL+snapshots per engine)")
+		pipelineF = flag.Int("pipeline", 0, "run the pipeline-depth sweep up to this depth (wall-clock, WAL-synced; 0 = off)")
+		blocksF   = flag.Int("blocks", 0, "blocks per point for the pipeline sweep (0 = default 8)")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -135,6 +139,28 @@ func run() error {
 		}
 		bench.WriteClusterSweep(os.Stdout, ccfg, points)
 		return writeCSV(*csvPath, func(w io.Writer) { bench.WriteClusterCSV(w, points) })
+	}
+
+	if *pipelineF > 0 {
+		pcfg := bench.PipelineConfig{
+			Workers: *workers, Engines: narrowEngines,
+			Depths: bench.DepthsUpTo(*pipelineF), Blocks: *blocksF,
+		}
+		if *quick {
+			pcfg.Blocks, pcfg.BlockSize = 4, 16
+			if *blocksF > 0 {
+				pcfg.Blocks = *blocksF
+			}
+		}
+		pcfg = pcfg.WithDefaults()
+		fmt.Printf("blockbench: pipeline sweep, workers=%d engine=%s depths=%v\n\n",
+			*workers, engNarrowLabel, pcfg.Depths)
+		points, err := bench.SweepPipeline(pcfg)
+		if err != nil {
+			return err
+		}
+		bench.WritePipelineSweep(os.Stdout, pcfg, points)
+		return writeCSV(*csvPath, func(w io.Writer) { bench.WritePipelineCSV(w, points) })
 	}
 
 	if *persistF {

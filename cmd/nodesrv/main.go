@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread] [-engine serial|speculative|occ]
-//	        [-data DIR] [-sync-every 1] [-snap-every 256]
+//	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread|lockhint] [-engine serial|speculative|occ]
+//	        [-data DIR] [-sync-every 1] [-snap-every 256] [-pipeline 1]
 //
 // With -data the node is durable: blocks append to a write-ahead log
 // before becoming visible, state snapshots are written every -snap-every
 // blocks, and a restart with the same -data recovers the chain (and the
 // pending mempool, saved on graceful shutdown via SIGINT/SIGTERM) by
 // replaying the WAL through the validator.
+//
+// With -pipeline N (N >= 2) block production is pipelined: POST /mine
+// returns once the block is sealed, its WAL fsync runs in the background
+// group-commit writer, and GET /status reports the sealed height next to
+// the durable height. Depth 1 (the default) is fully synchronous.
 //
 // Example session:
 //
@@ -65,17 +70,13 @@ func run() error {
 		dataDir    = flag.String("data", "", "durable data directory (empty = in-memory only)")
 		syncEvery  = flag.Int("sync-every", 1, "fsync the WAL every N blocks (negative = never)")
 		snapEvery  = flag.Int("snap-every", persist.DefaultSnapshotEvery, "write a state snapshot every N blocks (negative = never)")
+		pipeline   = flag.Int("pipeline", 1, "sealed-not-durable pipeline window (1 = synchronous mining)")
 	)
 	flag.Parse()
 
-	var policy txpool.Policy
-	switch *policyName {
-	case "fifo":
-		policy = txpool.PolicyFIFO
-	case "spread":
-		policy = txpool.PolicySpread
-	default:
-		return fmt.Errorf("unknown -policy %q", *policyName)
+	policy, err := txpool.ParsePolicy(*policyName)
+	if err != nil {
+		return err
 	}
 	engKind, err := engine.ParseKind(*engName)
 	if err != nil {
@@ -90,11 +91,13 @@ func run() error {
 		World: world, Workers: *workers, SelectionPolicy: policy, Engine: engKind,
 		DataDir: *dataDir,
 		Persist: persist.Options{SyncEvery: *syncEvery, SnapshotEvery: *snapEvery},
+		PipelineDepth: *pipeline,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("nodesrv listening on %s (workers=%d, policy=%s, engine=%s)\n", *addr, *workers, *policyName, engKind)
+	fmt.Printf("nodesrv listening on %s (workers=%d, policy=%s, engine=%s, pipeline=%d)\n",
+		*addr, *workers, *policyName, engKind, *pipeline)
 	if *dataDir != "" {
 		st := n.CurrentStatus()
 		fmt.Printf("durable: data=%s height=%d recovered=%d blocks, pool=%d pending\n",

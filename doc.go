@@ -17,7 +17,10 @@
 // their deterministic replay), engine (pluggable block execution: serial,
 // speculative, OCC), miner/validator (seal and check blocks), chain (hash-
 // linked blocks and the wire codec), txpool (mempool and selection
-// policies), persist (block WAL, state snapshots, crash recovery), node
-// (the HTTP-served node), cluster (multi-node propagation, catch-up sync
-// and snapshot fast-sync), workload/stats/bench (the evaluation harness).
+// policies, including engine-feedback lock-hints), persist (block WAL,
+// group-commit writer, state snapshots, crash recovery), pipeline (the
+// staged block-production window: sealed vs durable, back-pressure,
+// abort), node (the HTTP-served node), cluster (multi-node propagation,
+// durable-ordered publish, catch-up sync and snapshot fast-sync),
+// workload/stats/bench (the evaluation harness).
 package contractstm

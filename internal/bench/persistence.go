@@ -105,6 +105,12 @@ type PersistPoint struct {
 	// WalBytes is the on-disk WAL+snapshot footprint after the run
 	// (0 for the in-memory mode).
 	WalBytes int64
+	// WalBytesWritten is the framed bytes appended to the WAL; Fsyncs and
+	// FsyncTime are the sync count and summed latency — the numbers that
+	// say where a durable mode's time actually went.
+	WalBytesWritten int64
+	Fsyncs          int64
+	FsyncTime       time.Duration
 }
 
 // MeasurePersistence runs one point: mine cfg.Blocks blocks on a single
@@ -142,11 +148,17 @@ func MeasurePersistence(eng engine.Kind, mode PersistMode, cfg PersistenceConfig
 		}
 	}
 	elapsed := time.Since(start)
+	st := n.CurrentStatus()
 	if err := n.Close(); err != nil {
 		return PersistPoint{}, fmt.Errorf("bench: persistence close: %w", err)
 	}
 
-	pt := PersistPoint{Engine: eng, Mode: mode.Name, Blocks: cfg.Blocks, Txs: totalTxs, Elapsed: elapsed}
+	pt := PersistPoint{
+		Engine: eng, Mode: mode.Name, Blocks: cfg.Blocks, Txs: totalTxs, Elapsed: elapsed,
+		WalBytesWritten: st.WalBytesWritten,
+		Fsyncs:          st.WalFsyncs,
+		FsyncTime:       time.Duration(st.WalFsyncMicros) * time.Microsecond,
+	}
 	if s := elapsed.Seconds(); s > 0 {
 		pt.BlocksPerSec = float64(cfg.Blocks) / s
 		pt.TxsPerSec = float64(totalTxs) / s
@@ -190,10 +202,11 @@ func SweepPersistence(cfg PersistenceConfig) ([]PersistPoint, error) {
 
 // WritePersistenceCSV emits every durability data point as CSV.
 func WritePersistenceCSV(w io.Writer, points []PersistPoint) {
-	fmt.Fprintln(w, "engine,mode,blocks,txs,elapsed_ns,blocks_per_sec,txs_per_sec,disk_bytes")
+	fmt.Fprintln(w, "engine,mode,blocks,txs,elapsed_ns,blocks_per_sec,txs_per_sec,disk_bytes,wal_bytes_written,fsyncs,fsync_ns")
 	for _, p := range points {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.2f,%.2f,%d\n",
-			p.Engine, p.Mode, p.Blocks, p.Txs, p.Elapsed.Nanoseconds(), p.BlocksPerSec, p.TxsPerSec, p.WalBytes)
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.2f,%.2f,%d,%d,%d,%d\n",
+			p.Engine, p.Mode, p.Blocks, p.Txs, p.Elapsed.Nanoseconds(), p.BlocksPerSec, p.TxsPerSec,
+			p.WalBytes, p.WalBytesWritten, p.Fsyncs, p.FsyncTime.Nanoseconds())
 	}
 }
 
@@ -202,14 +215,22 @@ func WritePersistenceSweep(w io.Writer, cfg PersistenceConfig, points []PersistP
 	cfg = cfg.WithDefaults()
 	fmt.Fprintf(w, "Persistence sweep [%s]: %d blocks × %d txs, %d%% conflict, wall-clock incl. disk\n",
 		cfg.Kind, cfg.Blocks, cfg.BlockSize, cfg.ConflictPercent)
-	fmt.Fprintf(w, "  %-13s %-11s %-12s %-12s %-12s %-10s\n", "engine", "mode", "elapsed", "blocks/s", "txs/s", "disk")
+	fmt.Fprintf(w, "  %-13s %-11s %-12s %-12s %-12s %-10s %-10s %-8s %-11s\n",
+		"engine", "mode", "elapsed", "blocks/s", "txs/s", "disk", "written", "fsyncs", "fsync-avg")
 	for _, p := range points {
-		disk := "-"
+		disk, written, avg := "-", "-", "-"
 		if p.WalBytes > 0 {
 			disk = fmt.Sprintf("%.1f KiB", float64(p.WalBytes)/1024)
 		}
-		fmt.Fprintf(w, "  %-13s %-11s %-12s %-12.1f %-12.1f %-10s\n",
-			p.Engine, p.Mode, p.Elapsed.Round(time.Millisecond), p.BlocksPerSec, p.TxsPerSec, disk)
+		if p.WalBytesWritten > 0 {
+			written = fmt.Sprintf("%.1f KiB", float64(p.WalBytesWritten)/1024)
+		}
+		if p.Fsyncs > 0 {
+			avg = (p.FsyncTime / time.Duration(p.Fsyncs)).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "  %-13s %-11s %-12s %-12.1f %-12.1f %-10s %-10s %-8d %-11s\n",
+			p.Engine, p.Mode, p.Elapsed.Round(time.Millisecond), p.BlocksPerSec, p.TxsPerSec,
+			disk, written, p.Fsyncs, avg)
 	}
 	fmt.Fprintln(w)
 }

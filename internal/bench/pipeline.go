@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"contractstm/internal/engine"
+	"contractstm/internal/node"
+	"contractstm/internal/persist"
+	"contractstm/internal/workload"
+)
+
+// The pipeline sweep measures what stage overlap buys: the same
+// mine-N-blocks run under WAL-synced persistence, with the
+// sealed-not-durable window swept from 1 (fully synchronous — fsync of
+// block N blocks execution of N+1) upward. Depth >= 2 overlaps the fsync
+// with the next block's execution and lets the group-commit writer batch
+// several blocks under one fsync; the fsync and group columns attribute
+// the win. Wall-clock by nature — the disk sits on the measured path.
+
+// PipelineConfig tunes the pipeline-depth sweep.
+type PipelineConfig struct {
+	// Kind selects the workload (default Token).
+	Kind workload.Kind
+	// BlockSize is transactions per block (default 64).
+	BlockSize int
+	// Blocks is how many blocks each point mines (default 8).
+	Blocks int
+	// ConflictPercent follows the ClusterConfig convention: 0 = default
+	// (15), negative = conflict-free.
+	ConflictPercent int
+	// Workers is the node's pool size (default 3).
+	Workers int
+	// Seed makes workload generation deterministic (default DefaultSeed).
+	Seed int64
+	// Engines lists the engines to measure (default all).
+	Engines []engine.Kind
+	// Depths is the pipeline-depth axis (default 1, 2, 4).
+	Depths []int
+}
+
+// WithDefaults returns c with every unset field at its default.
+func (c PipelineConfig) WithDefaults() PipelineConfig {
+	if c.Kind == 0 {
+		c.Kind = workload.KindToken
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 8
+	}
+	if c.ConflictPercent == 0 {
+		c.ConflictPercent = SweepConflictFixed
+	} else if c.ConflictPercent < 0 {
+		c.ConflictPercent = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = engine.Kinds()
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{1, 2, 4}
+	}
+	return c
+}
+
+// DepthsUpTo returns the default depth axis clipped to max, always
+// including max itself — the shape `blockbench -pipeline N` sweeps.
+func DepthsUpTo(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for _, d := range []int{1, 2, 4, 8} {
+		if d < max {
+			out = append(out, d)
+		}
+	}
+	return append(out, max)
+}
+
+// PipelinePoint is one (engine, depth) measurement.
+type PipelinePoint struct {
+	Engine engine.Kind
+	Depth  int
+	Blocks int
+	Txs    int
+	// Elapsed covers mining every block and draining the pipeline, so
+	// every block is durable when the clock stops.
+	Elapsed      time.Duration
+	BlocksPerSec float64
+	TxsPerSec    float64
+	// Fsyncs and FsyncTime are the WAL's sync count and summed latency;
+	// MaxGroup is the largest group commit the writer managed. Depth 1
+	// fsyncs once per block; deeper pipelines amortize.
+	Fsyncs    int64
+	FsyncTime time.Duration
+	MaxGroup  int
+	// WalBytes is the framed bytes appended to the WAL.
+	WalBytes int64
+}
+
+// MeasurePipeline runs one point: mine cfg.Blocks blocks through the
+// pipeline at the given depth, WAL-synced, in a throwaway data dir.
+func MeasurePipeline(eng engine.Kind, depth int, cfg PipelineConfig) (PipelinePoint, error) {
+	cfg = cfg.WithDefaults()
+	totalTxs := cfg.Blocks * cfg.BlockSize
+	wl, err := workload.Generate(workload.Params{
+		Kind: cfg.Kind, Transactions: totalTxs,
+		ConflictPercent: cfg.ConflictPercent, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return PipelinePoint{}, fmt.Errorf("bench: pipeline workload: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "pipebench-")
+	if err != nil {
+		return PipelinePoint{}, fmt.Errorf("bench: pipeline dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	n, err := node.New(node.Config{
+		World: wl.World, Workers: cfg.Workers, Engine: eng,
+		DataDir: dir, Persist: persist.Options{SyncEvery: 1, SnapshotEvery: -1},
+		PipelineDepth: depth,
+	})
+	if err != nil {
+		return PipelinePoint{}, fmt.Errorf("bench: pipeline node: %w", err)
+	}
+	n.SubmitAll(wl.Calls)
+
+	start := time.Now()
+	mined, err := n.MinePipelined(cfg.Blocks, cfg.BlockSize)
+	elapsed := time.Since(start)
+	if err != nil {
+		return PipelinePoint{}, fmt.Errorf("bench: pipeline mine (%v, depth %d): %w", eng, depth, err)
+	}
+	if mined != cfg.Blocks {
+		return PipelinePoint{}, fmt.Errorf("bench: pipeline (%v, depth %d) mined %d blocks, want %d", eng, depth, mined, cfg.Blocks)
+	}
+	st := n.CurrentStatus()
+	if err := n.Close(); err != nil {
+		return PipelinePoint{}, fmt.Errorf("bench: pipeline close: %w", err)
+	}
+
+	pt := PipelinePoint{
+		Engine: eng, Depth: depth, Blocks: cfg.Blocks, Txs: totalTxs, Elapsed: elapsed,
+		Fsyncs:    st.WalFsyncs,
+		FsyncTime: time.Duration(st.WalFsyncMicros) * time.Microsecond,
+		MaxGroup:  st.WalMaxGroup,
+		WalBytes:  st.WalBytesWritten,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		pt.BlocksPerSec = float64(cfg.Blocks) / s
+		pt.TxsPerSec = float64(totalTxs) / s
+	}
+	return pt, nil
+}
+
+// SweepPipeline measures every (engine, depth) combination.
+func SweepPipeline(cfg PipelineConfig) ([]PipelinePoint, error) {
+	cfg = cfg.WithDefaults()
+	var out []PipelinePoint
+	for _, eng := range cfg.Engines {
+		for _, depth := range cfg.Depths {
+			pt, err := MeasurePipeline(eng, depth, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WritePipelineCSV emits every pipeline data point as CSV.
+func WritePipelineCSV(w io.Writer, points []PipelinePoint) {
+	fmt.Fprintln(w, "engine,depth,blocks,txs,elapsed_ns,blocks_per_sec,txs_per_sec,fsyncs,fsync_ns,max_group,wal_bytes")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.2f,%.2f,%d,%d,%d,%d\n",
+			p.Engine, p.Depth, p.Blocks, p.Txs, p.Elapsed.Nanoseconds(),
+			p.BlocksPerSec, p.TxsPerSec, p.Fsyncs, p.FsyncTime.Nanoseconds(), p.MaxGroup, p.WalBytes)
+	}
+}
+
+// WritePipelineSweep renders the pipeline sweep as an aligned table.
+func WritePipelineSweep(w io.Writer, cfg PipelineConfig, points []PipelinePoint) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "Pipeline sweep [%s]: %d blocks × %d txs, %d%% conflict, WAL-synced, wall-clock incl. disk\n",
+		cfg.Kind, cfg.Blocks, cfg.BlockSize, cfg.ConflictPercent)
+	fmt.Fprintf(w, "  %-13s %-7s %-12s %-12s %-12s %-8s %-11s %-9s\n",
+		"engine", "depth", "elapsed", "blocks/s", "txs/s", "fsyncs", "fsync-avg", "max-group")
+	for _, p := range points {
+		avg := "-"
+		if p.Fsyncs > 0 {
+			avg = (p.FsyncTime / time.Duration(p.Fsyncs)).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "  %-13s %-7d %-12s %-12.1f %-12.1f %-8d %-11s %-9d\n",
+			p.Engine, p.Depth, p.Elapsed.Round(time.Millisecond), p.BlocksPerSec, p.TxsPerSec,
+			p.Fsyncs, avg, p.MaxGroup)
+	}
+	fmt.Fprintln(w)
+}

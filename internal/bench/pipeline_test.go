@@ -1,0 +1,76 @@
+package bench
+
+// Pipeline sweep smoke test: a tiny depth matrix, so plain
+// `go test ./...` exercises the staged production path — pipelined node,
+// group-commit writer, drain — end to end against a real disk.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"contractstm/internal/engine"
+)
+
+func TestPipelineSweepSmoke(t *testing.T) {
+	cfg := PipelineConfig{
+		Blocks: 3, BlockSize: 8, Workers: 2,
+		Engines: []engine.Kind{engine.KindSerial},
+		Depths:  []int{1, 2},
+	}
+	points, err := SweepPipeline(cfg)
+	if err != nil {
+		t.Fatalf("SweepPipeline: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.BlocksPerSec <= 0 || p.TxsPerSec <= 0 {
+			t.Fatalf("%v/depth %d: non-positive throughput", p.Engine, p.Depth)
+		}
+		if p.WalBytes == 0 || p.Fsyncs == 0 {
+			t.Fatalf("%v/depth %d: WAL-synced run reported no disk work", p.Engine, p.Depth)
+		}
+	}
+	// Depth 1 fsyncs once per block; any deeper depth may only batch.
+	if points[0].Fsyncs != int64(cfg.Blocks) {
+		t.Fatalf("depth 1 made %d fsyncs, want %d", points[0].Fsyncs, cfg.Blocks)
+	}
+	if points[1].Fsyncs > points[0].Fsyncs {
+		t.Fatalf("depth 2 made more fsyncs (%d) than depth 1 (%d)", points[1].Fsyncs, points[0].Fsyncs)
+	}
+
+	var table, csv bytes.Buffer
+	WritePipelineSweep(&table, cfg, points)
+	if !strings.Contains(table.String(), "Pipeline sweep") {
+		t.Fatal("table output missing header")
+	}
+	WritePipelineCSV(&csv, points)
+	if got := strings.Count(csv.String(), "\n"); got != len(points)+1 {
+		t.Fatalf("CSV has %d lines, want %d", got, len(points)+1)
+	}
+}
+
+func TestDepthsUpTo(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{0, []int{1}},
+	} {
+		got := DepthsUpTo(tc.max)
+		if len(got) != len(tc.want) {
+			t.Fatalf("DepthsUpTo(%d) = %v, want %v", tc.max, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("DepthsUpTo(%d) = %v, want %v", tc.max, got, tc.want)
+			}
+		}
+	}
+}

@@ -243,6 +243,26 @@ func (c *Chain) HashAt(n uint64) (types.Hash, bool) {
 	return c.blocks[n-c.base].Header.Hash(), true
 }
 
+// ErrRewindPastBase reports a RewindTo below the oldest held block.
+var ErrRewindPastBase = errors.New("chain: rewind below chain base")
+
+// RewindTo drops every block above height, making it the new head. It is
+// the pipelined miner's abort primitive: blocks sealed but never made
+// durable are un-appended so the chain tracks what the WAL can actually
+// recover. Rewinding below the base (the root the chain cannot reopen) is
+// refused; rewinding at or above the head is a no-op.
+func (c *Chain) RewindTo(height uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if height < c.base {
+		return fmt.Errorf("%w: rewind to %d, base %d", ErrRewindPastBase, height, c.base)
+	}
+	if keep := height - c.base + 1; keep < uint64(len(c.blocks)) {
+		c.blocks = c.blocks[:keep]
+	}
+	return nil
+}
+
 // Append verifies linkage and commitments, then appends the block.
 func (c *Chain) Append(b Block) error {
 	c.mu.Lock()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -63,6 +64,10 @@ type Config struct {
 	DataDirs []string
 	// Persist tunes durable nodes' WAL sync and snapshot cadence.
 	Persist persist.Options
+	// PipelineDepth sets every node's sealed-not-durable window (0/1 =
+	// synchronous mining). A pipelining miner publishes blocks to its
+	// peers only once they are durable — wire it with PublishVia.
+	PipelineDepth int
 	// Client overrides the HTTP client the peer handles use.
 	Client *http.Client
 }
@@ -102,6 +107,7 @@ func New(cfg Config) (*Cluster, error) {
 			Engine:          cfg.Engine,
 			DataDir:         dataDir,
 			Persist:         cfg.Persist,
+			PipelineDepth:   cfg.PipelineDepth,
 		})
 		if err != nil {
 			c.Close()
@@ -185,6 +191,22 @@ func (c *Cluster) PeersExcept(i int) []*Peer {
 // Broadcaster returns a broadcaster from node i to every other node.
 func (c *Cluster) Broadcaster(i int) *Broadcaster {
 	return &Broadcaster{Peers: c.PeersExcept(i)}
+}
+
+// PublishVia wires node i's publish hook to broadcast every durable
+// block to the other nodes. The node invokes the hook serially in height
+// order, and only after the block's WAL record is durable — so followers
+// can never hold a block the miner might lose in a crash, and never see
+// height N+1 before height N. The broadcast itself is synchronous within
+// the hook, which back-pressures the pipeline on slow followers instead
+// of queueing unboundedly ahead of them.
+func (c *Cluster) PublishVia(i int) {
+	bcast := c.Broadcaster(i)
+	c.nodes[i].SetPublish(func(b chain.Block) {
+		// Failed deliveries are the broadcaster's retry/backoff business;
+		// a permanently dead peer catches up via Sync later.
+		_ = bcast.Broadcast(context.Background(), b)
+	})
 }
 
 // Heads returns every node's head header, indexed like the nodes.

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"contractstm/internal/engine"
+	"contractstm/internal/persist"
+)
+
+// TestPipelinePublishConvergence: a miner running the block pipeline at
+// depths 1, 2 and 4 publishes through the durable-only hook; followers
+// re-validate every published schedule and the cluster converges on the
+// miner's head. Because the hook fires in height order after each WAL
+// fsync, followers never reject a block for a missing parent and never
+// hold a block the miner could lose in a crash.
+func TestPipelinePublishConvergence(t *testing.T) {
+	for _, depth := range []int{1, 2, 4} {
+		depth := depth
+		for _, ek := range []engine.Kind{engine.KindSerial, engine.KindSpeculative} {
+			ek := ek
+			t.Run(ek.String()+"/depth", func(t *testing.T) {
+				const (
+					blocks    = 4
+					blockSize = 8
+				)
+				worlds, calls := newClusterWorlds(t, 3, blocks*blockSize)
+				dirs := []string{t.TempDir(), "", ""} // miner durable, followers in-memory
+				cl, err := New(Config{
+					Worlds: worlds, Engine: ek, Workers: 3,
+					DataDirs: dirs, Persist: persist.Options{SnapshotEvery: -1},
+					PipelineDepth: depth,
+				})
+				if err != nil {
+					t.Fatalf("cluster.New: %v", err)
+				}
+				defer cl.Close()
+				cl.PublishVia(0)
+
+				miner := cl.Node(0)
+				miner.SubmitAll(calls)
+				mined, err := miner.MinePipelined(blocks, blockSize)
+				if err != nil {
+					t.Fatalf("depth %d: mine: %v", depth, err)
+				}
+				if mined != blocks {
+					t.Fatalf("depth %d: mined %d, want %d", depth, mined, blocks)
+				}
+				// MinePipelined drained the pipeline; every durable block was
+				// published synchronously inside the hook, so the followers
+				// are already converged — no polling needed.
+				if !cl.Converged() {
+					heads := cl.Heads()
+					t.Fatalf("depth %d: cluster did not converge: miner %d, followers %d/%d",
+						depth, heads[0].Number, heads[1].Number, heads[2].Number)
+				}
+				if got := miner.Height(); got != uint64(blocks) {
+					t.Fatalf("depth %d: miner height %d, want %d", depth, got, blocks)
+				}
+				for i := 1; i < cl.Len(); i++ {
+					st := cl.Node(i).CurrentStatus()
+					if st.ValidatedBlocks != blocks {
+						t.Fatalf("depth %d: follower %d validated %d blocks, want %d",
+							depth, i, st.ValidatedBlocks, blocks)
+					}
+				}
+			})
+		}
+	}
+}

@@ -165,6 +165,27 @@ type Stats struct {
 	Rounds int
 	// LockStats echoes the speculative lock manager's counters.
 	LockStats stm.Stats
+	// ConflictPairs lists the (earlier, later) transaction pairs connected
+	// by a happens-before edge in the derived schedule — the block's
+	// observed contention structure. Transaction pools feed it back into
+	// packing decisions (txpool.PolicyLockHint); unlike RetriedTxs it is
+	// populated by every engine, including the serial one, because the
+	// edges fall out of the published schedule rather than the execution
+	// strategy.
+	ConflictPairs [][2]types.TxID
+}
+
+// conflictPairsOf extracts a schedule's happens-before edges as feedback
+// pairs (edges are already deduplicated by the schedule builder).
+func conflictPairsOf(s sched.Schedule) [][2]types.TxID {
+	if len(s.Edges) == 0 {
+		return nil
+	}
+	out := make([][2]types.TxID, len(s.Edges))
+	for i, e := range s.Edges {
+		out[i] = [2]types.TxID{e.From, e.To}
+	}
+	return out
 }
 
 // Result is a completed block execution: everything a miner needs to seal

@@ -167,6 +167,7 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 	if err != nil {
 		return Result{}, fmt.Errorf("engine: building schedule: %w", err)
 	}
+	stats.ConflictPairs = conflictPairsOf(schedule)
 	return Result{
 		Receipts: receipts,
 		Profiles: profiles,

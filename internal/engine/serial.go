@@ -51,7 +51,7 @@ func (SerialEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls
 		Schedule: schedule,
 		Graph:    graph,
 		Makespan: makespan,
-		Stats:    Stats{Rounds: 1},
+		Stats:    Stats{Rounds: 1, ConflictPairs: conflictPairsOf(schedule)},
 	}
 	res.Stats.tally(receipts)
 	return res, nil

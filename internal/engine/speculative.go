@@ -85,6 +85,7 @@ func (SpeculativeEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, 
 	if err != nil {
 		return Result{}, fmt.Errorf("engine: building schedule: %w", err)
 	}
+	stats.ConflictPairs = conflictPairsOf(schedule)
 	return Result{
 		Receipts: receipts,
 		Profiles: profiles,

@@ -24,6 +24,20 @@
 // loading the newest snapshot and replaying the WAL tail through the
 // validator — so recovery re-verifies the published (S, H) schedules
 // exactly as a peer would.
+//
+// With Config.PipelineDepth > 1 block production is pipelined: MineOne
+// returns once a block is sealed (selected, executed, appended to the
+// chain) and hands the WAL append + fsync to an asynchronous group-commit
+// writer, so the disk sync of block N overlaps the execution of block
+// N+1. The chain head then has two notions: the sealed height (what
+// mining builds on) and the durable height (what a crash provably keeps;
+// Status reports both). The crash-consistency rule: a block is published
+// to peers (Config.Publish) only after its WAL record is durable, in
+// height order, and a persist failure rolls the sealed-not-durable suffix
+// back — world restored, chain rewound, calls requeued at their original
+// arrival position. PipelineDepth 1 (the default) is the fully
+// synchronous path: durable before MineOne returns, exactly the
+// pre-pipeline behavior.
 package node
 
 import (
@@ -44,7 +58,9 @@ import (
 	"contractstm/internal/gas"
 	"contractstm/internal/miner"
 	"contractstm/internal/persist"
+	"contractstm/internal/pipeline"
 	"contractstm/internal/runtime"
+	"contractstm/internal/storage"
 	"contractstm/internal/txpool"
 	"contractstm/internal/types"
 	"contractstm/internal/validator"
@@ -71,6 +87,17 @@ type Config struct {
 	// Persist tunes WAL fsync batching and snapshot cadence; zero values
 	// mean the persist package defaults. Ignored without DataDir.
 	Persist persist.Options
+	// PipelineDepth bounds the sealed-not-durable window: how many mined
+	// blocks may await their WAL fsync while the next one executes. 0 or
+	// 1 selects the synchronous path (durable before MineOne returns).
+	// Depth > 1 overlaps execution with persistence; see the package
+	// comment for the sealed/durable distinction and the abort rule.
+	PipelineDepth int
+	// Publish, when non-nil, is called for every locally mined block once
+	// it is durable (or immediately after sealing on a node without a
+	// DataDir), serially and in height order — the safe point to announce
+	// a block to peers. The hook must not call back into the node.
+	Publish func(chain.Block)
 }
 
 // Node is a single in-process blockchain node.
@@ -108,10 +135,42 @@ type Node struct {
 	lastSnapHeight atomic.Uint64
 	// recoveredBlocks counts blocks replayed from the WAL by New.
 	recoveredBlocks int
+	// writer is the asynchronous group-commit WAL appender (nil unless
+	// the node is durable with PipelineDepth > 1). All WAL block appends
+	// go through it when present, so mined and imported blocks serialize
+	// in one queue.
+	writer *persist.Writer
+	// prod coordinates the pipelined block lifecycle (nil when
+	// PipelineDepth <= 1): window admission, back-pressure and the abort
+	// pass on persist failure.
+	prod *pipeline.Producer
+	// inflight is the sealed-not-durable registry, oldest first. Entries
+	// are appended under execMu (at seal) and popped from the front as
+	// durability verdicts arrive; the abort pass drains it wholesale.
+	// Guarded by n.mu.
+	inflight []*inflightEntry
+	// durableHeight is the newest block acknowledged by the persistence
+	// layer (atomic; equals the sealed height on a non-durable node).
+	durableHeight atomic.Uint64
+	// publish is the post-durability announce hook (Config.Publish;
+	// guarded by n.mu so SetPublish can install it after construction).
+	publish func(chain.Block)
 	// stats
 	minedBlocks     int
 	validatedBlocks int
 	totalRetries    int
+}
+
+// inflightEntry is one sealed block awaiting its durability verdict,
+// with everything the abort pass needs to un-seal it.
+type inflightEntry struct {
+	block chain.Block
+	// sel returns the block's calls to their arrival position on abort.
+	sel txpool.Selection
+	// snap is the world state before the block executed.
+	snap storage.Snapshot
+	// retries is the block's execution retry count, un-tallied on abort.
+	retries int
 }
 
 // New creates a node whose genesis commits to the world's current state.
@@ -159,7 +218,30 @@ func New(cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
+	n.publish = cfg.Publish
+	if cfg.PipelineDepth > 1 {
+		if n.log != nil {
+			n.writer = persist.NewWriter(n.log)
+		}
+		n.prod = pipeline.New(cfg.PipelineDepth, n.abortPipeline)
+	}
 	return n, nil
+}
+
+// SetPublish installs (or replaces) the post-durability publish hook.
+// Call it before mining starts: a hook swapped mid-pipeline may miss
+// blocks already past their publish stage.
+func (n *Node) SetPublish(f func(chain.Block)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.publish = f
+}
+
+// publishHook reads the current hook.
+func (n *Node) publishHook() func(chain.Block) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.publish
 }
 
 // openDurable opens the persistence log and recovers a previous run:
@@ -244,6 +326,8 @@ func (n *Node) openDurable(cfg Config, genesisRoot types.Hash) error {
 		n.sinceSnap = int(n.chain.Head().Header.Number - s.Height())
 		n.maybeSnapshot(0)
 	}
+	// Everything recovered from disk is by definition durable.
+	n.durableHeight.Store(n.chain.Head().Header.Number)
 	return nil
 }
 
@@ -269,17 +353,45 @@ func (n *Node) RecoveredBlocks() int {
 	return n.recoveredBlocks
 }
 
-// Close persists the pending mempool and cleanly closes the WAL. A node
-// without a DataDir has nothing to do. The node must be quiescent
-// (callers stop serving first); mining after Close fails on the closed
-// log.
+// Flush drains the pipeline: it blocks until every sealed block has its
+// durability verdict (and any abort pass has finished), then reports the
+// pipeline's latched error, if any. A node without a pipeline is always
+// drained. Do not call from a publish hook.
+func (n *Node) Flush() error {
+	if n.prod == nil {
+		return nil
+	}
+	if err := n.prod.Flush(); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	return nil
+}
+
+// Close persists the pending mempool and cleanly closes the WAL, first
+// draining the pipeline so the mempool snapshot reflects every abort. A
+// node without a DataDir has nothing to do beyond the drain. The node
+// must be quiescent (callers stop serving first); mining after Close
+// fails on the closed log.
 func (n *Node) Close() error {
+	flushErr := n.Flush()
+	if n.writer != nil {
+		// The writer's latched error, if any, already surfaced in Flush.
+		_ = n.writer.Close()
+	}
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
+	// The pipelined path defers cadence checkpoints to drain points, and
+	// shutdown is the last one: an overdue snapshot writes now, so a node
+	// whose mining stopped exactly at a cadence boundary matches the
+	// synchronous path's disk state instead of leaving the whole WAL tail
+	// for the next recovery to replay.
+	if flushErr == nil {
+		n.maybeSnapshot(0)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.log == nil {
-		return nil
+		return flushErr
 	}
 	if err := n.log.SavePool(n.pool.PendingCalls()); err != nil {
 		return fmt.Errorf("node: close: %w", err)
@@ -287,7 +399,7 @@ func (n *Node) Close() error {
 	if err := n.log.Close(); err != nil {
 		return fmt.Errorf("node: close: %w", err)
 	}
-	return nil
+	return flushErr
 }
 
 // Kill simulates a crash: the WAL file handles and the data-dir lock are
@@ -297,6 +409,14 @@ func (n *Node) Close() error {
 // and demos recover from this. (An actual process kill releases the
 // lock the same way, since advisory locks die with their descriptors.)
 func (n *Node) Kill() {
+	// A crashing pipeline runs no abort passes — the process is "gone",
+	// so its in-memory world is nobody's business; only the WAL speaks.
+	if n.prod != nil {
+		n.prod.Latch(persist.ErrClosed)
+	}
+	if n.writer != nil {
+		n.writer.Kill()
+	}
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
 	n.mu.Lock()
@@ -338,34 +458,25 @@ func (n *Node) BlockAt(h uint64) (chain.Block, bool) { return n.chainRef().Block
 
 // MineOne selects up to blockSize transactions, executes them with the
 // node's engine, appends the block and reports conflict feedback to the
-// pool. It returns the sealed block.
+// pool. It returns the sealed block. With PipelineDepth <= 1 the block is
+// durable (per the WAL sync policy) before MineOne returns; with a deeper
+// pipeline the persist + publish stages complete asynchronously, and a
+// later persist failure rolls the block back and requeues its calls — see
+// the package comment.
 //
 // Locking: execMu serializes the world mutation end to end, but n.mu is
 // only taken for the short bookkeeping sections (selection against the
 // current head, then seal-and-append), never across the execution itself.
 func (n *Node) MineOne(blockSize int) (chain.Block, error) {
+	if n.prod != nil {
+		return n.mineOnePipelined(blockSize, true)
+	}
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
 
-	n.mu.Lock()
-	calls, err := n.pool.Select(n.policy, blockSize)
-	parent := n.chain.Head().Header
-	n.mu.Unlock()
+	sel, res, snap, err := n.executeSeal(blockSize)
 	if err != nil {
-		return chain.Block{}, fmt.Errorf("node: select: %w", err)
-	}
-
-	// Snapshot the world, execute outside n.mu, seal/append under it.
-	// execMu guarantees the parent header cannot move underneath us.
-	snap := n.world.Snapshot()
-	res, err := miner.Mine(n.eng, n.runner, n.world, parent, calls,
-		engine.Options{Workers: n.workers})
-	if err != nil {
-		n.world.Restore(snap)
-		// The selection was destructive; a failed attempt must not lose
-		// the clients' transactions.
-		n.pool.Requeue(calls)
-		return chain.Block{}, fmt.Errorf("node: mine: %w", err)
+		return chain.Block{}, err
 	}
 
 	// WAL first: a block must be durable before it becomes visible.
@@ -375,37 +486,242 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 	// after a successful WAL write cannot fail short of a bug.
 	if err := n.persistBlock(res.Block); err != nil {
 		n.world.Restore(snap)
-		n.pool.Requeue(calls)
+		n.pool.RequeueBatch(sel)
 		return chain.Block{}, fmt.Errorf("node: persist: %w", err)
 	}
+	n.durableHeight.Store(res.Block.Header.Number)
 
 	n.mu.Lock()
 	err = n.chain.Append(res.Block)
 	if err == nil {
-		var conflicted []contract.Call
-		for _, id := range res.Stats.RetriedTxs {
-			conflicted = append(conflicted, calls[id])
-		}
-		n.pool.ReportConflicts(conflicted)
+		n.reportFeedbackLocked(sel.Calls, res)
 		n.minedBlocks++
 		n.totalRetries += res.Stats.Retries
 	}
 	n.mu.Unlock()
 	if err != nil {
 		n.world.Restore(snap)
-		n.pool.Requeue(calls)
+		n.pool.RequeueBatch(sel)
 		return chain.Block{}, fmt.Errorf("node: append: %w", err)
 	}
 	n.maybeSnapshot(1)
+	if publish := n.publishHook(); publish != nil {
+		publish(res.Block)
+	}
 	return res.Block, nil
 }
 
-// persistBlock appends b to the WAL (no-op without persistence). Caller
-// holds execMu, which serializes all appenders; n.mu is not needed and
-// deliberately not held across the disk write.
+// executeSeal is the select + execute + seal stage shared by the
+// synchronous and pipelined paths: pick a batch against the current head,
+// run it through the engine and seal the result. On failure the world is
+// restored and the batch requeued at its arrival position. Caller holds
+// execMu; the returned snapshot is the world state before the block (the
+// pipelined abort path restores it).
+func (n *Node) executeSeal(blockSize int) (txpool.Selection, miner.Result, storage.Snapshot, error) {
+	n.mu.Lock()
+	sel, err := n.pool.SelectBatch(n.policy, blockSize)
+	parent := n.chain.Head().Header
+	n.mu.Unlock()
+	if err != nil {
+		return txpool.Selection{}, miner.Result{}, storage.Snapshot{}, fmt.Errorf("node: select: %w", err)
+	}
+
+	// Snapshot the world, execute outside n.mu, seal under it. execMu
+	// guarantees the parent header cannot move underneath us.
+	snap := n.world.Snapshot()
+	res, err := miner.Mine(n.eng, n.runner, n.world, parent, sel.Calls,
+		engine.Options{Workers: n.workers})
+	if err != nil {
+		n.world.Restore(snap)
+		// The selection was destructive; a failed attempt must not lose
+		// the clients' transactions.
+		n.pool.RequeueBatch(sel)
+		return txpool.Selection{}, miner.Result{}, storage.Snapshot{}, fmt.Errorf("node: mine: %w", err)
+	}
+	return sel, res, snap, nil
+}
+
+// reportFeedbackLocked feeds the engine's conflict observations back to
+// the pool: retried transactions always (the spread policy's signal), and
+// the full happens-before pair structure when the lock-hint policy is
+// active. Caller holds n.mu.
+func (n *Node) reportFeedbackLocked(calls []contract.Call, res miner.Result) {
+	var conflicted []contract.Call
+	for _, id := range res.Stats.RetriedTxs {
+		conflicted = append(conflicted, calls[id])
+	}
+	n.pool.ReportConflicts(conflicted)
+	if n.policy == txpool.PolicyLockHint && len(res.Stats.ConflictPairs) > 0 {
+		pairs := make([][2]contract.Call, 0, len(res.Stats.ConflictPairs))
+		for _, pr := range res.Stats.ConflictPairs {
+			pairs = append(pairs, [2]contract.Call{calls[pr[0]], calls[pr[1]]})
+		}
+		n.pool.ReportConflictPairs(pairs)
+	}
+}
+
+// mineOnePipelined runs the staged path: admit into the window (blocking
+// while PipelineDepth blocks await their fsync — the back-pressure rule),
+// seal the next block on the sealed head, register it in the in-flight
+// list and hand it to the persist stage. With submit=false the block is
+// left sealed-but-unsubmitted — the crash tests' way of parking the node
+// at an exact pipeline stage.
+func (n *Node) mineOnePipelined(blockSize int, submit bool) (chain.Block, error) {
+	if err := n.prod.Admit(); err != nil {
+		return chain.Block{}, fmt.Errorf("node: %w", err)
+	}
+	n.execMu.Lock()
+	// A failure latched while we waited for the window: nothing may seal
+	// on a suffix the abort pass is (or will be) rolling back.
+	if err := n.prod.Err(); err != nil {
+		n.execMu.Unlock()
+		n.prod.Release()
+		return chain.Block{}, fmt.Errorf("node: %w", err)
+	}
+	// Snapshot cadence: checkpoints need a durable boundary, so when one
+	// is due the window drains first — a periodic group boundary.
+	if err := n.maybeSnapshotPipelined(); err != nil {
+		n.execMu.Unlock()
+		n.prod.Release()
+		return chain.Block{}, fmt.Errorf("node: %w", err)
+	}
+
+	sel, res, snap, err := n.executeSeal(blockSize)
+	if err != nil {
+		n.execMu.Unlock()
+		n.prod.Release()
+		return chain.Block{}, err
+	}
+
+	// Seal the chain head forward — sealed, not yet durable — and
+	// register the entry before execMu drops, so the abort pass (which
+	// runs under execMu) always sees every sealed block.
+	entry := &inflightEntry{block: res.Block, sel: sel, snap: snap, retries: res.Stats.Retries}
+	n.mu.Lock()
+	err = n.chain.Append(res.Block)
+	if err == nil {
+		n.inflight = append(n.inflight, entry)
+		n.reportFeedbackLocked(sel.Calls, res)
+		n.minedBlocks++
+		n.totalRetries += res.Stats.Retries
+	}
+	n.mu.Unlock()
+	if err != nil {
+		n.world.Restore(snap)
+		n.pool.RequeueBatch(sel)
+		n.execMu.Unlock()
+		n.prod.Release()
+		return chain.Block{}, fmt.Errorf("node: append: %w", err)
+	}
+	n.sinceSnap++ // sealed blocks count toward the cadence (execMu)
+	// Hand off to the persist stage while still holding execMu: WAL
+	// queue order must match chain order even against a concurrent
+	// AcceptBlock. Enqueue never blocks on I/O.
+	if submit {
+		n.submitEntry(entry)
+	}
+	n.execMu.Unlock()
+	return res.Block, nil
+}
+
+// submitEntry hands a sealed block to the persist stage. On a durable
+// node the group-commit writer owns the fsync; without one there is
+// nothing to wait for and the entry completes on the spot.
+func (n *Node) submitEntry(e *inflightEntry) {
+	if n.writer != nil {
+		n.writer.Enqueue(e.block, func(err error) { n.entryDurable(e, err) })
+		return
+	}
+	n.entryDurable(e, nil)
+}
+
+// entryDurable is the persist stage's verdict callback: on success the
+// entry leaves the in-flight registry, the durable height advances and
+// the block is published; on failure the producer schedules the abort
+// pass. Verdicts arrive serially in height order (the writer goroutine
+// delivers them), which is what makes the publish hook's ordering
+// guarantee hold.
+func (n *Node) entryDurable(e *inflightEntry, err error) {
+	if err != nil {
+		n.prod.Complete(err)
+		return
+	}
+	n.mu.Lock()
+	if len(n.inflight) > 0 && n.inflight[0] == e {
+		n.inflight = n.inflight[1:]
+	}
+	publish := n.publish
+	n.mu.Unlock()
+	n.durableHeight.Store(e.block.Header.Number)
+	if publish != nil {
+		publish(e.block)
+	}
+	n.prod.Complete(nil)
+}
+
+// abortPipeline is the producer's abort pass: a persist failure voids
+// every sealed-not-durable block. The world rolls back to the oldest
+// failed block's pre-state, the chain rewinds under it, and every failed
+// batch goes back to the pool at its original arrival position — which is
+// why RequeueBatch merges by arrival order rather than trusting abort
+// order. Runs under execMu so it cannot race a concurrent seal.
+func (n *Node) abortPipeline(cause error) {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	n.mu.Lock()
+	entries := n.inflight
+	n.inflight = nil
+	n.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	oldest := entries[0]
+	n.world.Restore(oldest.snap)
+	n.mu.Lock()
+	// Rewind cannot fail: sealed blocks sit strictly above the base.
+	_ = n.chain.RewindTo(oldest.block.Header.Number - 1)
+	n.minedBlocks -= len(entries)
+	for _, e := range entries {
+		// The aborted blocks' execution stats leave the tallies too, or
+		// retries-per-mined-block reads would count phantom blocks.
+		n.totalRetries -= e.retries
+	}
+	n.mu.Unlock()
+	for _, e := range entries {
+		n.pool.RequeueBatch(e.sel)
+	}
+	if n.sinceSnap -= len(entries); n.sinceSnap < 0 {
+		n.sinceSnap = 0
+	}
+}
+
+// maybeSnapshotPipelined drains the pipeline window and writes the due
+// checkpoint, if any. Caller holds execMu. A latched writer surfaces its
+// error; the caller backs off and lets the abort pass run.
+func (n *Node) maybeSnapshotPipelined() error {
+	if n.log == nil || n.snapEvery <= 0 || n.sinceSnap < n.snapEvery {
+		return nil
+	}
+	if err := n.writer.Flush(); err != nil {
+		return fmt.Errorf("pipeline flush: %w", err)
+	}
+	// Window drained: sealed == durable, the world sits exactly at the
+	// chain head, and the checkpoint describes a recoverable boundary.
+	n.maybeSnapshot(0)
+	return nil
+}
+
+// persistBlock appends b to the WAL (no-op without persistence),
+// returning once the block is acknowledged per the sync policy. On a
+// pipelining node the write goes through the group-commit writer so it
+// serializes behind any in-flight mined blocks. Caller holds execMu;
+// n.mu is not needed and deliberately not held across the disk write.
 func (n *Node) persistBlock(b chain.Block) error {
 	if n.log == nil {
 		return nil
+	}
+	if n.writer != nil {
+		return n.writer.Append(b)
 	}
 	return n.log.Append(b)
 }
@@ -501,6 +817,7 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 		n.world.Restore(snap)
 		return fmt.Errorf("node: persist: %w", err)
 	}
+	n.durableHeight.Store(b.Header.Number)
 	n.mu.Lock()
 	err := n.chain.Append(b)
 	if err == nil {
@@ -513,6 +830,27 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 	}
 	n.maybeSnapshot(1)
 	return nil
+}
+
+// MinePipelined mines up to blocks blocks of blockSize through the
+// configured pipeline and then drains it, so on a nil error every mined
+// block is durable and published. It stops early (without error) when the
+// pool runs dry. The returned count is blocks sealed; if the pipeline
+// aborted, the error says so and the aborted suffix's calls are back in
+// the pool.
+func (n *Node) MinePipelined(blocks, blockSize int) (int, error) {
+	mined := 0
+	for i := 0; i < blocks; i++ {
+		if _, err := n.MineOne(blockSize); err != nil {
+			if errors.Is(err, txpool.ErrEmpty) {
+				break
+			}
+			_ = n.Flush()
+			return mined, err
+		}
+		mined++
+	}
+	return mined, n.Flush()
 }
 
 // ErrStaleSnapshot reports an InstallSnapshot at or below the current
@@ -552,6 +890,9 @@ func (n *Node) InstallSnapshot(s persist.Snapshot) error {
 	n.chain = chain.NewAt(s.Header)
 	n.sinceSnap = 0
 	n.lastSnapHeight.Store(s.Height())
+	// The installed checkpoint is this chain's new root: everything the
+	// node now holds is at least as durable as the snapshot itself.
+	n.durableHeight.Store(s.Height())
 	if n.log != nil {
 		if err := n.log.InstallSnapshot(s); err != nil {
 			// State is installed and consistent; only durability of the
@@ -578,6 +919,16 @@ func (n *Node) SnapshotNow() (persist.Snapshot, error) {
 	}
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
+	// A durable pipelining node drains its window first: a generated
+	// checkpoint must describe a durable boundary, never a sealed-not-
+	// durable head a crash could void — the same rule the /head and
+	// /blocks gates enforce. (execMu is held, so nothing new seals while
+	// the writer drains; its verdicts take only n.mu.)
+	if n.writer != nil {
+		if err := n.writer.Flush(); err != nil {
+			return persist.Snapshot{}, fmt.Errorf("node: snapshot: %w", err)
+		}
+	}
 	head := n.chain.Head().Header
 	state, err := n.world.EncodeState()
 	if err != nil {
@@ -595,6 +946,16 @@ type Status struct {
 	MinedBlocks     int        `json:"minedBlocks"`
 	ValidatedBlocks int        `json:"validatedBlocks"`
 	TotalRetries    int        `json:"totalRetries"`
+	// DurableHeight is the newest block the persistence layer has
+	// acknowledged; Height - DurableHeight is the sealed-not-durable
+	// pipeline window. On a node without a data dir it equals Height —
+	// nothing is ever durable, so the distinction is vacuous.
+	DurableHeight uint64 `json:"durableHeight"`
+	// PipelineDepth and InFlight describe the production pipeline: the
+	// configured window, and how many blocks currently sit between their
+	// seal and their durability verdict (0 unless PipelineDepth > 1).
+	PipelineDepth int `json:"pipelineDepth,omitempty"`
+	InFlight      int `json:"inFlight,omitempty"`
 	// Persistent reports whether the node runs with a durable data dir;
 	// RecoveredBlocks and SnapshotHeight describe its recovery state.
 	// SnapshotErrors counts failed checkpoint writes since start — any
@@ -603,6 +964,16 @@ type Status struct {
 	RecoveredBlocks int    `json:"recoveredBlocks,omitempty"`
 	SnapshotHeight  uint64 `json:"snapshotHeight,omitempty"`
 	SnapshotErrors  int64  `json:"snapshotErrors,omitempty"`
+	// WAL I/O counters (persistent nodes): appends and framed bytes
+	// written, fsync count and summed latency in microseconds, and how
+	// group commits batched — the numbers that attribute a block rate to
+	// the disk.
+	WalAppends      int64 `json:"walAppends,omitempty"`
+	WalBytesWritten int64 `json:"walBytesWritten,omitempty"`
+	WalFsyncs       int64 `json:"walFsyncs,omitempty"`
+	WalFsyncMicros  int64 `json:"walFsyncMicros,omitempty"`
+	WalGroupCommits int64 `json:"walGroupCommits,omitempty"`
+	WalMaxGroup     int   `json:"walMaxGroup,omitempty"`
 	// ChainBase is the oldest height the node still holds (non-zero on a
 	// fast-synced, pruned node).
 	ChainBase uint64 `json:"chainBase,omitempty"`
@@ -622,13 +993,28 @@ func (n *Node) CurrentStatus() Status {
 		MinedBlocks:     n.minedBlocks,
 		ValidatedBlocks: n.validatedBlocks,
 		TotalRetries:    n.totalRetries,
+		DurableHeight:   head.Header.Number,
+		InFlight:        len(n.inflight),
 		ChainBase:       n.chain.Base(),
+	}
+	if n.prod != nil {
+		st.PipelineDepth = n.prod.Depth()
 	}
 	if n.log != nil {
 		st.Persistent = true
+		st.DurableHeight = n.durableHeight.Load()
 		st.RecoveredBlocks = n.recoveredBlocks
 		st.SnapshotErrors = n.snapshotErrs.Load()
 		st.SnapshotHeight = n.lastSnapHeight.Load()
+		// MetricsSnapshot is lock-free (atomic counters), so this cannot
+		// stall the status path behind an in-flight fsync.
+		m := n.log.MetricsSnapshot()
+		st.WalAppends = m.Appends
+		st.WalBytesWritten = m.BytesWritten
+		st.WalFsyncs = m.Fsyncs
+		st.WalFsyncMicros = m.FsyncTime.Microseconds()
+		st.WalGroupCommits = m.GroupCommits
+		st.WalMaxGroup = m.MaxGroup
 	}
 	return st
 }
@@ -804,10 +1190,26 @@ func (n *Node) handleAcceptBlock(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, headerSummary(block))
 }
 
+// servedHeight is the highest height the wire API exposes to peers: the
+// durable height on a durable pipelining node, the sealed head otherwise.
+// The crash rule covers the pull path too — GET /head and GET /blocks
+// must never hand out a sealed-not-durable block, or a syncing follower
+// could permanently hold a block the miner loses in a crash and fork.
+func (n *Node) servedHeight() uint64 {
+	if n.prod == nil || n.log == nil {
+		return n.Height()
+	}
+	return n.durableHeight.Load()
+}
+
 func (n *Node) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 	height, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if height > n.servedHeight() {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no durable block at height %d", height))
 		return
 	}
 	block, ok := n.BlockAt(height)
@@ -825,6 +1227,13 @@ func (n *Node) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleHead(w http.ResponseWriter, r *http.Request) {
+	// Serve the durable head, not the sealed one — see servedHeight. The
+	// sealed chain always holds its durable prefix, so the lookup cannot
+	// miss; a pruned chain's base is durable by construction.
+	if block, ok := n.BlockAt(n.servedHeight()); ok {
+		writeJSON(w, http.StatusOK, headerSummary(block))
+		return
+	}
 	writeJSON(w, http.StatusOK, headerSummary(n.Head()))
 }
 

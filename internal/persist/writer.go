@@ -1,0 +1,169 @@
+package persist
+
+import (
+	"sync"
+
+	"contractstm/internal/chain"
+)
+
+// Writer is the asynchronous group-commit appender the pipelined node
+// persists through: callers enqueue sealed blocks and continue executing
+// the next one while a single background goroutine drains the queue into
+// the WAL. Every drain is one Log.AppendGroup — whatever accumulated
+// while the previous fsync ran lands under a single fsync, so group sizes
+// grow exactly when the disk is the bottleneck. Completion callbacks fire
+// in height order with the durability verdict; after the first failure
+// the writer latches and every queued or later block fails fast, because
+// a WAL with a hole after height N can never accept N+2.
+type Writer struct {
+	log *Log
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds blocks awaiting the next group commit.
+	queue []writeReq
+	// busy marks a drain in progress (queue already taken by the loop).
+	busy bool
+	// err is the latched first failure; every later enqueue fails with it.
+	err error
+	// closing stops the loop once the queue drains.
+	closing bool
+	// stopped closes when the loop has exited.
+	stopped chan struct{}
+}
+
+type writeReq struct {
+	block chain.Block
+	done  func(error)
+}
+
+// NewWriter starts a writer over an open, replayed log. Callers own
+// Close (or Kill on the crash path).
+func NewWriter(l *Log) *Writer {
+	w := &Writer{log: l, stopped: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// Enqueue submits one block for asynchronous append. done is called
+// exactly once — from the writer goroutine, in enqueue (= height) order —
+// with nil once the block is acknowledged per the log's sync policy, or
+// with the failure that voided it. Enqueue itself never blocks on I/O.
+func (w *Writer) Enqueue(b chain.Block, done func(error)) {
+	w.mu.Lock()
+	if w.closing {
+		err := w.err
+		w.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		done(err)
+		return
+	}
+	w.queue = append(w.queue, writeReq{block: b, done: done})
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Append is the synchronous form of Enqueue: it returns once the block's
+// durability verdict is in. Non-pipelined appenders (a follower's
+// AcceptBlock on a node whose miner pipelines) go through here so their
+// WAL writes serialize behind any in-flight mined blocks.
+func (w *Writer) Append(b chain.Block) error {
+	ch := make(chan error, 1)
+	w.Enqueue(b, func(err error) { ch <- err })
+	return <-ch
+}
+
+// Flush blocks until every enqueued block has its durability verdict and
+// returns the latched error, if any. It does not prevent concurrent
+// enqueues; callers quiesce first when they need a stable boundary.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for (len(w.queue) > 0 || w.busy) && w.err == nil {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Close drains the queue, stops the loop and returns the latched error.
+// It does not close the underlying log — the node owns that.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	w.closing = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.stopped
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Kill stops the writer without draining — the crash-simulation path.
+// Queued blocks fail with ErrClosed; whatever the loop already handed to
+// the log may or may not be durable, which is exactly the ambiguity a
+// real crash leaves.
+func (w *Writer) Kill() {
+	w.mu.Lock()
+	w.closing = true
+	if w.err == nil {
+		w.err = ErrClosed
+	}
+	pending := w.queue
+	w.queue = nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, req := range pending {
+		req.done(ErrClosed)
+	}
+	<-w.stopped
+}
+
+// Err reports the latched failure, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *Writer) loop() {
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closing {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			close(w.stopped)
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.busy = true
+		err := w.err
+		w.mu.Unlock()
+
+		if err == nil {
+			blocks := make([]chain.Block, len(batch))
+			for i, req := range batch {
+				blocks[i] = req.block
+			}
+			err = w.log.AppendGroup(blocks)
+		}
+		// Verdicts in height order, outside the lock: on group failure
+		// every block in it failed (AppendGroup is all-or-nothing).
+		for _, req := range batch {
+			req.done(err)
+		}
+
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.busy = false
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}

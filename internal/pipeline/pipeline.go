@@ -1,0 +1,190 @@
+// Package pipeline coordinates the staged block-production lifecycle:
+// select → execute+seal → persist → publish, with the persist stage
+// running asynchronously so the disk sync of block N overlaps the
+// execution of block N+1 — the same overlap the paper extracts inside a
+// block, applied across blocks.
+//
+// The Producer owns the pipeline invariants, not the stages themselves
+// (the node owns those):
+//
+//   - a bounded in-flight window: at most Depth blocks may be sealed but
+//     not yet durable; Admit blocks when the window is full, which is the
+//     back-pressure that stops a fast executor from racing an unbounded
+//     WAL queue;
+//   - ordered completion: durability verdicts are handed to the producer
+//     in height order (the group-commit writer guarantees it), so publish
+//     hooks fire in height order too;
+//   - fail-stop abort: the first persist failure latches the producer —
+//     nothing new is admitted — and schedules the owner's abort callback,
+//     which rolls back every sealed-not-durable block and requeues its
+//     calls. A block sealed concurrently with the latch (the executor was
+//     mid-seal when the verdict landed) is caught by a follow-up abort
+//     pass: every failed completion schedules one, and passes run until
+//     none are pending.
+//
+// A Producer with Depth 1 admits one block at a time, which is the
+// synchronous path: seal, wait durable, publish, repeat.
+package pipeline
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrLatched reports an operation on a producer stopped by a persist
+// failure (or shutdown); the underlying cause is wrapped.
+var ErrLatched = errors.New("pipeline: producer latched")
+
+// Producer enforces the pipeline window and failure discipline. The zero
+// value is not usable; see New.
+type Producer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// depth is the window: max admitted-and-unresolved blocks.
+	depth int
+	// reserved counts admitted entries whose verdict (durable, failed or
+	// released) has not landed yet.
+	reserved int
+	// err is the latched first failure.
+	err error
+	// noAbort suppresses abort passes (crash simulation: the owner is
+	// gone, rolling back its world would be work for nobody).
+	noAbort bool
+	// onFail is the owner's abort pass: roll back every sealed-not-
+	// durable block and requeue its calls. Runs on its own goroutine,
+	// never under p.mu.
+	onFail       func(cause error)
+	abortPending int
+	abortRunning bool
+}
+
+// New returns a producer with the given window depth (min 1). onFail is
+// the owner's abort pass; it must tolerate running with nothing left to
+// roll back (a follow-up pass after a clean sweep).
+func New(depth int, onFail func(error)) *Producer {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Producer{depth: depth, onFail: onFail}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Depth returns the window size.
+func (p *Producer) Depth() int { return p.depth }
+
+// Admit reserves a window slot, blocking while the pipeline is full. It
+// fails once the producer is latched — after a persist failure nothing
+// new may build on the doomed suffix.
+func (p *Producer) Admit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.err == nil && p.reserved >= p.depth {
+		p.cond.Wait()
+	}
+	if p.err != nil {
+		return p.latchedErrLocked()
+	}
+	p.reserved++
+	return nil
+}
+
+// Release returns an admitted slot unused (selection found nothing, or
+// sealing failed before the persist stage).
+func (p *Producer) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reserved--
+	p.cond.Broadcast()
+}
+
+// Complete resolves one admitted entry with its durability verdict. A
+// failure latches the producer and schedules an abort pass; every
+// subsequent failed completion schedules another, so an entry sealed
+// while an earlier pass was already running is still rolled back.
+func (p *Producer) Complete(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reserved--
+	if err != nil {
+		if p.err == nil {
+			p.err = err
+		}
+		if !p.noAbort {
+			p.abortPending++
+			if !p.abortRunning {
+				p.abortRunning = true
+				go p.abortLoop()
+			}
+		}
+	}
+	p.cond.Broadcast()
+}
+
+// abortLoop runs owner abort passes until none are pending, then quits.
+func (p *Producer) abortLoop() {
+	for {
+		p.mu.Lock()
+		if p.abortPending == 0 {
+			p.abortRunning = false
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		p.abortPending = 0
+		cause := p.err
+		p.mu.Unlock()
+		p.onFail(cause)
+	}
+}
+
+// Latch stops the producer with err without scheduling abort passes —
+// the crash-simulation path, where the owner's state dies with it.
+func (p *Producer) Latch(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.noAbort = true
+	p.cond.Broadcast()
+}
+
+// Flush blocks until every admitted entry is resolved and any abort
+// passes have finished, then reports the latched error, if any. After a
+// latch it still waits the stragglers out: their verdicts arrive promptly
+// (a latched writer fails everything queued), and returning before the
+// last abort pass would hand the caller a world mid-rollback.
+func (p *Producer) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.reserved > 0 || p.abortRunning || p.abortPending > 0 {
+		p.cond.Wait()
+	}
+	if p.err != nil {
+		return p.latchedErrLocked()
+	}
+	return nil
+}
+
+// Err reports the latched failure, if any.
+func (p *Producer) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err == nil {
+		return nil
+	}
+	return p.latchedErrLocked()
+}
+
+// InFlight reports admitted-and-unresolved entries (sealed-not-durable,
+// plus at most one block currently in its select/seal stage).
+func (p *Producer) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reserved
+}
+
+func (p *Producer) latchedErrLocked() error {
+	return errors.Join(ErrLatched, p.err)
+}

@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelineWindowBackPressure: Admit blocks once Depth entries are
+// unresolved and unblocks as verdicts land.
+func TestPipelineWindowBackPressure(t *testing.T) {
+	p := New(2, func(error) {})
+	if err := p.Admit(); err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	if err := p.Admit(); err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	admitted := make(chan struct{})
+	go func() {
+		if err := p.Admit(); err != nil {
+			t.Errorf("admit 3: %v", err)
+		}
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("third admit slipped past a full window")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Complete(nil)
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("admit still blocked after a completion freed the window")
+	}
+	p.Complete(nil)
+	p.Complete(nil)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("in-flight %d after flush", p.InFlight())
+	}
+}
+
+// TestPipelineFailureLatchesAndAborts: the first failed verdict runs the
+// abort pass, later admits fail with the latched cause, and a failure
+// landing during an abort pass schedules another.
+func TestPipelineFailureLatchesAndAborts(t *testing.T) {
+	cause := errors.New("disk on fire")
+	var passes atomic.Int32
+	started := make(chan struct{})
+	var release sync.WaitGroup
+	release.Add(1)
+	p := New(4, func(err error) {
+		if !errors.Is(err, cause) {
+			t.Errorf("abort pass got %v", err)
+		}
+		if passes.Add(1) == 1 {
+			close(started)
+			release.Wait() // first pass stalls until the straggler lands
+		}
+	})
+	for i := 0; i < 3; i++ {
+		if err := p.Admit(); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+	}
+	p.Complete(cause) // first failure: pass 1 starts and stalls
+	<-started
+	p.Complete(cause) // straggler arrives mid-pass: must schedule pass 2
+	release.Done()
+	p.Complete(nil) // last entry resolves clean (already durable)
+	if err := p.Flush(); !errors.Is(err, ErrLatched) || !errors.Is(err, cause) {
+		t.Fatalf("flush: %v, want latched cause", err)
+	}
+	if err := p.Admit(); !errors.Is(err, ErrLatched) {
+		t.Fatalf("admit after latch: %v", err)
+	}
+	if got := passes.Load(); got < 2 {
+		t.Fatalf("%d abort passes, want >= 2 (straggler needs its own)", got)
+	}
+}
+
+// TestPipelineLatchSuppressesAbort: the crash path stops the producer
+// without running rollbacks.
+func TestPipelineLatchSuppressesAbort(t *testing.T) {
+	var passes atomic.Int32
+	p := New(2, func(error) { passes.Add(1) })
+	if err := p.Admit(); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	p.Latch(errors.New("killed"))
+	p.Complete(errors.New("writer closed")) // verdict for the admitted entry
+	if err := p.Flush(); !errors.Is(err, ErrLatched) {
+		t.Fatalf("flush: %v", err)
+	}
+	if passes.Load() != 0 {
+		t.Fatal("abort pass ran on the crash path")
+	}
+}
+
+// TestPipelineReleaseFreesSlot: an admitted-but-unsealed slot (empty
+// pool) goes back without a verdict.
+func TestPipelineReleaseFreesSlot(t *testing.T) {
+	p := New(1, func(error) {})
+	if err := p.Admit(); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	p.Release()
+	if err := p.Admit(); err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+	p.Complete(nil)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}

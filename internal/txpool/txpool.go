@@ -10,6 +10,17 @@
 // the target contract and the sender — to spread obviously-colliding
 // transactions across different blocks. BenchmarkTxPoolSelection measures
 // the effect on miner retries and speedup.
+//
+// PolicyLockHint refines the idea with feedback from the execution engine:
+// every call carries a set of static lock-hints — (contract, function)
+// plus refinements by sender and by address-typed arguments — and the
+// happens-before edges of mined blocks are reported back as conflict
+// pairs. A hint two conflicting calls *shared* is evidence that it
+// approximates a real abstract lock, so later selections avoid packing
+// two calls with the same hot hint into one block. Unlike PolicySpread's
+// per-function cap, this throttles only the hints that actually
+// conflicted, so a workload with a few hot keys (see workload.KindHotCold)
+// keeps its cold majority flowing at full block size.
 package txpool
 
 import (
@@ -33,6 +44,12 @@ const (
 	// for later blocks; no transaction is starved because each block's
 	// scan starts at the queue head.
 	PolicySpread
+	// PolicyLockHint packs blocks using static lock-hints with engine
+	// feedback: a call is deferred when one of its hints both (a) was
+	// shared by a conflicting pair in an earlier block (positive score)
+	// and (b) is already claimed by a call chosen for this block. Hints
+	// with no conflict evidence never throttle anything.
+	PolicyLockHint
 )
 
 // String implements fmt.Stringer.
@@ -42,18 +59,44 @@ func (p Policy) String() string {
 		return "fifo"
 	case PolicySpread:
 		return "spread"
+	case PolicyLockHint:
+		return "lockhint"
 	default:
 		return "policy?"
+	}
+}
+
+// ParsePolicy resolves a policy name as used by command-line flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return PolicyFIFO, nil
+	case "spread":
+		return PolicySpread, nil
+	case "lockhint":
+		return PolicyLockHint, nil
+	default:
+		return 0, errors.New("txpool: unknown policy " + s + " (want fifo, spread or lockhint)")
 	}
 }
 
 // ErrEmpty is returned by Select on an empty pool.
 var ErrEmpty = errors.New("txpool: empty")
 
-// pending is one queued call with its arrival sequence.
+// pending is one queued call with its arrival sequence. The queue is kept
+// sorted by seq at all times: Submit appends increasing seqs, selection
+// removes entries without reordering, and every requeue path re-inserts
+// by seq — that invariant is what lets an aborted in-flight batch return
+// to exactly its original position relative to everything else.
 type pending struct {
 	call contract.Call
-	seq  uint64
+	seq  int64
+	// hints caches hintsOf(call) for the lock-hint policy: a deferred
+	// call is rescanned by every subsequent selection, and its static
+	// hints never change. Derived lazily on first scan (FIFO and spread
+	// pools never pay for it); dropped on selection, recomputed if the
+	// call is ever requeued.
+	hints []lockHint
 }
 
 // Pool is a FIFO transaction queue with pluggable block selection.
@@ -61,9 +104,10 @@ type pending struct {
 type Pool struct {
 	mu      sync.Mutex
 	queue   []pending
-	nextSeq uint64
-	// windowFactor bounds how far past the block size the spread policy
-	// scans for non-colliding transactions (window = factor * blockSize).
+	nextSeq int64
+	// windowFactor bounds how far past the block size the spread and
+	// lock-hint policies scan for non-colliding transactions
+	// (window = factor * blockSize).
 	windowFactor int
 	// conflictScore counts observed speculative retries per (contract,
 	// function), fed back by the miner via ReportConflicts; the spread
@@ -75,19 +119,36 @@ type Pool struct {
 	conflictScore map[funcHint]int
 	// reportedSinceDecay counts conflict reports since the last decay pass.
 	reportedSinceDecay int
+	// hintScore scores static lock-hints by conflict evidence: a hint both
+	// calls of a reported conflict pair share gets a point. Decays and is
+	// capped exactly like conflictScore (separate counters).
+	hintScore       map[lockHint]int
+	pairsSinceDecay int
+	// outstandingLow is a monotone floor under every sequence number ever
+	// handed out by SelectBatch (valid once hasOutstanding is set). The
+	// legacy Requeue places its entries strictly below it, so a
+	// front-requeued call can never collide with — or later interleave
+	// into the middle of — an in-flight batch that RequeueBatch merges
+	// back by its original seqs.
+	outstandingLow int64
+	hasOutstanding bool
 }
 
 // conflictDecayEvery is how many reported conflicts trigger a decay pass
 // (every score halves; zeroed entries are dropped).
 const conflictDecayEvery = 256
 
-// maxConflictEntries bounds the conflict-score map; when exceeded, the
-// lowest-scored entries are evicted first.
+// maxConflictEntries bounds the conflict-score and hint-score maps; when
+// exceeded, the lowest-scored entries are evicted first.
 const maxConflictEntries = 1024
 
 // New returns an empty pool.
 func New() *Pool {
-	return &Pool{windowFactor: 4, conflictScore: make(map[funcHint]int)}
+	return &Pool{
+		windowFactor:  4,
+		conflictScore: make(map[funcHint]int),
+		hintScore:     make(map[lockHint]int),
+	}
 }
 
 // ReportConflicts feeds back transactions that needed speculative retries
@@ -102,24 +163,70 @@ func (p *Pool) ReportConflicts(calls []contract.Call) {
 	p.reportedSinceDecay += len(calls)
 	if p.reportedSinceDecay >= conflictDecayEvery {
 		p.reportedSinceDecay = 0
-		for k, v := range p.conflictScore {
-			if v /= 2; v == 0 {
-				delete(p.conflictScore, k)
-			} else {
-				p.conflictScore[k] = v
+		decayScores(p.conflictScore)
+	}
+	capScores(p.conflictScore)
+}
+
+// ReportConflictPairs feeds back pairs of calls connected by a
+// happens-before edge in a mined block (engine.Stats.ConflictPairs). For
+// each pair the pool scores the refined lock-hints both calls share —
+// evidence that the shared hint approximates a real abstract lock. Pairs
+// sharing no refinement score their coarse (contract, function) hints
+// instead. PolicyLockHint reads these scores.
+func (p *Pool) ReportConflictPairs(pairs [][2]contract.Call) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pr := range pairs {
+		a, b := hintsOf(pr[0]), hintsOf(pr[1])
+		shared := false
+		for _, ha := range a {
+			if !ha.refined {
+				continue // coarse hint handled below
+			}
+			for _, hb := range b {
+				if ha == hb {
+					p.hintScore[ha]++
+					shared = true
+				}
 			}
 		}
+		if !shared {
+			p.hintScore[coarseHint(pr[0])]++
+			p.hintScore[coarseHint(pr[1])]++
+		}
 	}
-	for len(p.conflictScore) > maxConflictEntries {
+	p.pairsSinceDecay += len(pairs)
+	if p.pairsSinceDecay >= conflictDecayEvery {
+		p.pairsSinceDecay = 0
+		decayScores(p.hintScore)
+	}
+	capScores(p.hintScore)
+}
+
+// decayScores halves every score, dropping zeroed entries.
+func decayScores[K comparable](m map[K]int) {
+	for k, v := range m {
+		if v /= 2; v == 0 {
+			delete(m, k)
+		} else {
+			m[k] = v
+		}
+	}
+}
+
+// capScores evicts lowest-scored entries beyond maxConflictEntries.
+func capScores[K comparable](m map[K]int) {
+	for len(m) > maxConflictEntries {
 		min := 0
-		for _, v := range p.conflictScore {
+		for _, v := range m {
 			if min == 0 || v < min {
 				min = v
 			}
 		}
-		for k, v := range p.conflictScore {
-			if v <= min && len(p.conflictScore) > maxConflictEntries {
-				delete(p.conflictScore, k)
+		for k, v := range m {
+			if v <= min && len(m) > maxConflictEntries {
+				delete(m, k)
 			}
 		}
 	}
@@ -130,6 +237,13 @@ func (p *Pool) conflictEntries() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.conflictScore)
+}
+
+// hintEntries reports tracked lock-hint groups (tests).
+func (p *Pool) hintEntries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.hintScore)
 }
 
 // Submit enqueues a call.
@@ -152,20 +266,139 @@ func (p *Pool) SubmitAll(calls []contract.Call) {
 	}
 }
 
+// Selection is a selected batch plus the bookkeeping needed to return it
+// to the pool at exactly its original arrival position. A pipelined miner
+// holds several Selections in flight at once; when an aborted block's
+// calls come back via RequeueBatch, the arrival sequence — not the abort
+// order — decides where they land, so no interleaving of aborts and new
+// submissions can reorder client transactions.
+type Selection struct {
+	Calls []contract.Call
+	seqs  []int64
+}
+
+// Len reports the selected call count.
+func (s Selection) Len() int { return len(s.Calls) }
+
+// SelectBatch removes and returns up to blockSize transactions according
+// to the policy, remembering their arrival sequence for RequeueBatch. It
+// returns ErrEmpty when nothing is queued.
+func (p *Pool) SelectBatch(policy Policy, blockSize int) (Selection, error) {
+	if blockSize <= 0 {
+		return Selection{}, errors.New("txpool: non-positive block size")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return Selection{}, ErrEmpty
+	}
+	var taken []pending
+	switch policy {
+	case PolicySpread:
+		taken = p.selectSpread(blockSize)
+	case PolicyLockHint:
+		taken = p.selectLockHint(blockSize)
+	default:
+		taken = p.selectFIFO(blockSize)
+	}
+	sel := Selection{Calls: make([]contract.Call, len(taken)), seqs: make([]int64, len(taken))}
+	for i, pe := range taken {
+		sel.Calls[i] = pe.call
+		sel.seqs[i] = pe.seq
+		if !p.hasOutstanding || pe.seq < p.outstandingLow {
+			p.outstandingLow, p.hasOutstanding = pe.seq, true
+		}
+	}
+	return sel, nil
+}
+
+// Select removes and returns up to blockSize transactions according to the
+// policy. It returns ErrEmpty when nothing is queued.
+func (p *Pool) Select(policy Policy, blockSize int) ([]contract.Call, error) {
+	sel, err := p.SelectBatch(policy, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return sel.Calls, nil
+}
+
+// RequeueBatch returns a selected-but-unmined batch to the pool at its
+// original arrival position: entries are merged back by their arrival
+// sequence. Batches may be requeued in any order — a pipelined miner
+// aborting several in-flight blocks gets the original client order back
+// regardless of which abort lands first, and calls submitted after the
+// batch was selected stay behind it.
+func (p *Pool) RequeueBatch(sel Selection) {
+	if len(sel.Calls) == 0 {
+		return
+	}
+	// Order the batch itself by arrival (selection policies may have
+	// reordered within the block).
+	batch := make([]pending, len(sel.Calls))
+	for i := range sel.Calls {
+		batch[i] = pending{call: sel.Calls[i], seq: sel.seqs[i]}
+	}
+	sortPending(batch)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queue = mergeBySeq(batch, p.queue)
+}
+
+// sortPending sorts by seq (insertion sort; batches are block-sized and
+// nearly sorted already).
+func sortPending(ps []pending) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].seq < ps[j-1].seq; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// mergeBySeq merges two seq-sorted runs into one.
+func mergeBySeq(a, b []pending) []pending {
+	out := make([]pending, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].seq <= b[j].seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // Requeue returns selected-but-unmined calls to the *front* of the queue
-// in their original relative order: a failed mining attempt (execution
-// error, append race) must neither drop nor reorder client transactions.
+// in their given order: a failed mining attempt (execution error, append
+// race) must neither drop nor reorder client transactions. Callers that
+// hold a Selection should prefer RequeueBatch, which restores the calls'
+// true arrival position; Requeue places them ahead of everything queued
+// or ever selected, assigning sequence numbers below both the queue
+// minimum and the lowest seq any in-flight batch holds — so the queue's
+// seq ordering stays intact and a batch merged back later can neither
+// collide with nor split a legacy-requeued run.
 func (p *Pool) Requeue(calls []contract.Call) {
 	if len(calls) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	pre := make([]pending, 0, len(calls)+len(p.queue))
-	for _, c := range calls {
-		pre = append(pre, pending{call: c, seq: p.nextSeq})
-		p.nextSeq++
+	base := p.nextSeq
+	if len(p.queue) > 0 {
+		base = p.queue[0].seq
 	}
+	if p.hasOutstanding && p.outstandingLow < base {
+		base = p.outstandingLow
+	}
+	pre := make([]pending, 0, len(calls)+len(p.queue))
+	for i, c := range calls {
+		pre = append(pre, pending{call: c, seq: base - int64(len(calls)) + int64(i)})
+	}
+	// These seqs sit below anything in flight: they are the new floor.
+	p.outstandingLow, p.hasOutstanding = pre[0].seq, true
 	p.queue = append(pre, p.queue...)
 }
 
@@ -210,39 +443,56 @@ type funcHint struct {
 	function string
 }
 
-// Select removes and returns up to blockSize transactions according to the
-// policy. It returns ErrEmpty when nothing is queued.
-func (p *Pool) Select(policy Policy, blockSize int) ([]contract.Call, error) {
-	if blockSize <= 0 {
-		return nil, errors.New("txpool: non-positive block size")
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.queue) == 0 {
-		return nil, ErrEmpty
-	}
-	switch policy {
-	case PolicySpread:
-		return p.selectSpread(blockSize), nil
-	default:
-		return p.selectFIFO(blockSize), nil
-	}
+// lockHint is the lock-hint policy's static approximation of one abstract
+// lock. Two shapes share the struct: the coarse form (refined == false)
+// is a per-function funcHint, and the refined form names an address the
+// call touches — its sender or an address-typed argument — which is what
+// a per-key lock (a balance, a voter record) is actually keyed by.
+// Refined hints are deliberately role-free: a transfer A→B and a transfer
+// B→A touch the same two balances even though sender and argument swap
+// roles, and the policy must see that overlap to keep the pair apart.
+// The key is all comparable value types (no string rendering): hintsOf
+// runs for every window entry of every selection scan.
+type lockHint struct {
+	contract types.Address
+	function string
+	addr     types.Address
+	refined  bool
 }
 
-func (p *Pool) selectFIFO(blockSize int) []contract.Call {
+func coarseHint(c contract.Call) lockHint {
+	return lockHint{contract: c.Contract, function: c.Function}
+}
+
+// hintsOf derives a call's static lock-hints: refined per-address hints
+// first (sender, then address arguments), the coarse (contract, function)
+// hint last.
+func hintsOf(c contract.Call) []lockHint {
+	hints := make([]lockHint, 0, len(c.Args)+2)
+	hints = append(hints, lockHint{contract: c.Contract, addr: c.Sender, refined: true})
+	for _, a := range c.Args {
+		if addr, ok := a.(types.Address); ok {
+			hints = append(hints, lockHint{contract: c.Contract, addr: addr, refined: true})
+		}
+	}
+	return append(hints, coarseHint(c))
+}
+
+// Select removes and returns up to blockSize transactions... (see
+// SelectBatch; this section hosts the per-policy selectors, which run
+// under p.mu and mutate p.queue).
+
+func (p *Pool) selectFIFO(blockSize int) []pending {
 	n := blockSize
 	if n > len(p.queue) {
 		n = len(p.queue)
 	}
-	out := make([]contract.Call, 0, n)
-	for _, pe := range p.queue[:n] {
-		out = append(out, pe.call)
-	}
+	out := append([]pending(nil), p.queue[:n]...)
 	p.queue = append([]pending(nil), p.queue[n:]...)
 	return out
 }
 
-func (p *Pool) selectSpread(blockSize int) []contract.Call {
+func (p *Pool) selectSpread(blockSize int) []pending {
 	window := blockSize * p.windowFactor
 	if window > len(p.queue) {
 		window = len(p.queue)
@@ -253,7 +503,7 @@ func (p *Pool) selectSpread(blockSize int) []contract.Call {
 	}
 	seenSender := make(map[senderHint]bool, blockSize)
 	funcCount := make(map[funcHint]int, blockSize)
-	out := make([]contract.Call, 0, blockSize)
+	out := make([]pending, 0, blockSize)
 	taken := make([]bool, window)
 	for i := 0; i < window && len(out) < blockSize; i++ {
 		c := p.queue[i].call
@@ -268,16 +518,74 @@ func (p *Pool) selectSpread(blockSize int) []contract.Call {
 		seenSender[sh] = true
 		funcCount[fh]++
 		taken[i] = true
-		out = append(out, c)
+		out = append(out, p.queue[i])
 	}
-	// If the window was all-colliding, fall back to FIFO for the
-	// remainder so blocks never run empty while work is queued.
+	out = p.fillAndCompact(blockSize, window, taken, out)
+	return out
+}
+
+// selectLockHint scans the window taking calls in arrival order, deferring
+// a call only when one of its hints has positive conflict evidence AND is
+// already claimed by a call chosen for this block. Coarse hints use a
+// generous per-block cap instead of exclusivity (a hot function is not a
+// single lock); refined hints are exclusive (one hot sender / hot key per
+// block), which is exactly what keeps consecutive pipelined blocks off
+// each other's hot locks.
+func (p *Pool) selectLockHint(blockSize int) []pending {
+	window := blockSize * p.windowFactor
+	if window > len(p.queue) {
+		window = len(p.queue)
+	}
+	coarseCap := blockSize / 8
+	if coarseCap < 1 {
+		coarseCap = 1
+	}
+	claimed := make(map[lockHint]bool, blockSize)
+	coarseCount := make(map[lockHint]int, blockSize)
+	out := make([]pending, 0, blockSize)
+	taken := make([]bool, window)
+scan:
+	for i := 0; i < window && len(out) < blockSize; i++ {
+		if p.queue[i].hints == nil {
+			p.queue[i].hints = hintsOf(p.queue[i].call)
+		}
+		hints := p.queue[i].hints
+		for _, h := range hints {
+			if p.hintScore[h] <= 0 {
+				continue
+			}
+			if !h.refined {
+				if coarseCount[h] >= coarseCap {
+					continue scan
+				}
+			} else if claimed[h] {
+				continue scan
+			}
+		}
+		for _, h := range hints {
+			if !h.refined {
+				coarseCount[h]++
+			} else {
+				claimed[h] = true
+			}
+		}
+		taken[i] = true
+		out = append(out, p.queue[i])
+	}
+	out = p.fillAndCompact(blockSize, window, taken, out)
+	return out
+}
+
+// fillAndCompact backfills an under-full block FIFO-style from the
+// window's deferred entries (blocks never run empty while work is
+// queued), then removes every taken entry from the queue.
+func (p *Pool) fillAndCompact(blockSize, window int, taken []bool, out []pending) []pending {
 	for i := 0; i < window && len(out) < blockSize; i++ {
 		if taken[i] {
 			continue
 		}
 		taken[i] = true
-		out = append(out, p.queue[i].call)
+		out = append(out, p.queue[i])
 	}
 	remaining := make([]pending, 0, len(p.queue)-len(out))
 	for i, pe := range p.queue {

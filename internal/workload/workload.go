@@ -47,6 +47,18 @@ const (
 	// paper's single-key conflicts. Conflict% = fraction of delegations
 	// targeting one hub voter.
 	KindDelegation
+	// KindHotCold is an extension workload: Token transfers with
+	// Zipf-skewed key access. Conflict% of the transfers move value
+	// *between* accounts of a small hot set, endpoints drawn under a Zipf
+	// distribution — opposing transfers acquire their balance locks in
+	// opposite orders (exclusive debit, then credit), so hot cross-traffic
+	// deadlocks and retries under speculative mining. The cold majority
+	// uses disjoint senders and recipients. The skew is what the lock-hint
+	// selection policy (txpool.PolicyLockHint) is built for: the hot
+	// accounts are identifiable from the calls alone (sender or argument),
+	// so a feedback-informed miner spreads them across blocks while the
+	// cold traffic fills every block to capacity.
+	KindHotCold
 )
 
 // String implements fmt.Stringer; the names match the paper's benchmarks.
@@ -64,6 +76,8 @@ func (k Kind) String() string {
 		return "Token"
 	case KindDelegation:
 		return "Delegation"
+	case KindHotCold:
+		return "HotCold"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -76,7 +90,7 @@ func Kinds() []Kind {
 
 // AllKinds lists every workload, the paper's four plus the extensions.
 func AllKinds() []Kind {
-	return append(Kinds(), KindToken, KindDelegation)
+	return append(Kinds(), KindToken, KindDelegation, KindHotCold)
 }
 
 // ParseKind parses a workload name as commands accept it: the String()
@@ -155,6 +169,8 @@ func Generate(p Params) (*Workload, error) {
 		calls, err = genToken(world, p, 0, p.Transactions, p.ConflictPercent)
 	case KindDelegation:
 		calls, err = genDelegation(world, p, 0, p.Transactions, p.ConflictPercent)
+	case KindHotCold:
+		calls, err = genHotCold(world, p, 0, p.Transactions, p.ConflictPercent)
 	case KindMixed:
 		calls, err = genMixed(world, p)
 	default:
@@ -403,6 +419,69 @@ func genDelegation(world *contract.World, p Params, lane, n, conflictPct int) ([
 		calls = append(calls, contract.Call{
 			Sender: sender, Contract: addr, Function: "delegate",
 			Args: []any{hub}, GasLimit: p.GasLimit,
+		})
+	}
+	return calls, nil
+}
+
+// hotSetSize is KindHotCold's hot-account pool: small enough that a Zipf
+// draw repeats senders within one block at realistic block sizes.
+const hotSetSize = 4
+
+// genHotCold builds the HotCold extension workload: cold transactions
+// move tokens between disjoint accounts; hot transactions (conflict% of
+// the block) move tokens between two distinct hot-set accounts, both
+// endpoints drawn Zipf-skewed — so opposing hot transfers form lock
+// cycles (each holds its sender's exclusive balance lock and wants the
+// other's) and abort-and-retry under speculative mining. Generation is
+// deterministic in the seed, Zipf draws included.
+func genHotCold(world *contract.World, p Params, lane, n, conflictPct int) ([]contract.Call, error) {
+	addr := contractAddr(KindHotCold, lane)
+	issuer := actorAddr(p.Seed, lane, 999_993)
+	token, err := contracts.NewToken(world, addr, issuer, 1_000_000_000)
+	if err != nil {
+		return nil, err
+	}
+	hot, cold := conflictSplit(n, conflictPct, false)
+
+	rng := rand.New(rand.NewSource(p.Seed*7777777 + int64(lane)*31 + int64(KindHotCold)))
+	// s=1.3, v=1 over [0, hotSetSize): a classic skew — the hottest
+	// account takes roughly half the hot draws.
+	zipf := rand.NewZipf(rng, 1.3, 1, hotSetSize-1)
+
+	hotAccounts := make([]types.Address, hotSetSize)
+	for i := range hotAccounts {
+		hotAccounts[i] = actorAddr(p.Seed, lane, 900_000+i)
+		if hot > 0 {
+			if err := token.SeedBalance(world, hotAccounts[i], uint64(hot)*10); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	calls := make([]contract.Call, 0, n)
+	for i := 0; i < cold; i++ {
+		from := actorAddr(p.Seed, lane, i)
+		if err := token.SeedBalance(world, from, 1000); err != nil {
+			return nil, err
+		}
+		to := actorAddr(p.Seed, lane, 700_000+i)
+		calls = append(calls, contract.Call{
+			Sender: from, Contract: addr, Function: "transfer",
+			Args: []any{to, uint64(7)}, GasLimit: p.GasLimit,
+		})
+	}
+	for i := 0; i < hot; i++ {
+		from := int(zipf.Uint64())
+		// A distinct hot counterparty: step past the sender so every hot
+		// transfer crosses two hot balances.
+		to := (from + 1 + int(zipf.Uint64())) % hotSetSize
+		if to == from {
+			to = (to + 1) % hotSetSize
+		}
+		calls = append(calls, contract.Call{
+			Sender: hotAccounts[from], Contract: addr, Function: "transfer",
+			Args: []any{hotAccounts[to], uint64(3)}, GasLimit: p.GasLimit,
 		})
 	}
 	return calls, nil
