@@ -14,6 +14,7 @@
 //	blockbench -cluster            # multi-node sweep: blocks/s across 1-4 validating peers
 //	blockbench -persist            # durability sweep: no persistence vs WAL (sync/nosync) vs WAL+snapshots
 //	blockbench -pipeline 4         # pipeline sweep: blocks/s at depths 1,2,4 under WAL-synced persistence
+//	blockbench -receipts           # receipt latency: submit → durable /v1 receipt, depths 1 and 4
 //	blockbench -pipeline 2 -blocks 8  # short smoke: depths 1,2 over 8 blocks
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
@@ -75,13 +76,14 @@ func run() error {
 		clusterF  = flag.Bool("cluster", false, "run the multi-node propagation sweep (wall-clock, 1-4 validating peers per engine)")
 		persistF  = flag.Bool("persist", false, "run the durability sweep (wall-clock, no-persistence vs WAL sync/nosync vs WAL+snapshots per engine)")
 		pipelineF = flag.Int("pipeline", 0, "run the pipeline-depth sweep up to this depth (wall-clock, WAL-synced; 0 = off)")
+		receiptsF = flag.Bool("receipts", false, "run the receipt-latency sweep (wall-clock: submit → durable /v1 receipt per engine at pipeline depths 1 and 4)")
 		blocksF   = flag.Int("blocks", 0, "blocks per point for the pipeline sweep (0 = default 8)")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -161,6 +163,25 @@ func run() error {
 		}
 		bench.WritePipelineSweep(os.Stdout, pcfg, points)
 		return writeCSV(*csvPath, func(w io.Writer) { bench.WritePipelineCSV(w, points) })
+	}
+
+	if *receiptsF {
+		rcfg := bench.ReceiptConfig{Workers: *workers, Engines: narrowEngines, Blocks: *blocksF}
+		if *quick {
+			rcfg.Blocks, rcfg.BlockSize, rcfg.Samples = 3, 16, 6
+			if *blocksF > 0 {
+				rcfg.Blocks = *blocksF
+			}
+		}
+		rcfg = rcfg.WithDefaults()
+		fmt.Printf("blockbench: receipt-latency sweep, workers=%d engine=%s depths=%v\n\n",
+			*workers, engNarrowLabel, rcfg.Depths)
+		points, err := bench.SweepReceipts(rcfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteReceiptSweep(os.Stdout, rcfg, points)
+		return writeCSV(*csvPath, func(w io.Writer) { bench.WriteReceiptCSV(w, points) })
 	}
 
 	if *persistF {

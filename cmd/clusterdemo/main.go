@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"contractstm/internal/api/wire"
 	"contractstm/internal/cluster"
 	"contractstm/internal/contract"
 	"contractstm/internal/engine"
@@ -190,6 +191,17 @@ func run() error {
 	fmt.Printf("throughput: %.1f blocks/s, %.1f txs/s end-to-end (%s)\n",
 		float64(*blocks)/elapsed.Seconds(),
 		float64(*blocks**blockSize)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+
+	// Receipt round-trip through the /v1 SDK: the first submitted call's
+	// content-derived ID is queryable on the miner — and on any follower
+	// that validated the block — now that the block is durable.
+	txID := wire.TxIDOf(calls[0]).String()
+	rec, err := cluster.NewPeer(miner.url, nil).Receipt(ctx, txID)
+	if err != nil {
+		return fmt.Errorf("receipt %s: %w", txID, err)
+	}
+	fmt.Printf("receipt %s…: %s in block %d (schedule pos %d, gas %d)\n",
+		txID[:10], rec.Status, rec.BlockHeight, rec.ScheduleIndex, rec.GasUsed)
 
 	if durable {
 		// Act two: kill the miner cold, recover from the data directory,

@@ -8,6 +8,7 @@
 //
 //	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread|lockhint] [-engine serial|speculative|occ]
 //	        [-data DIR] [-sync-every 1] [-snap-every 256] [-pipeline 1]
+//	        [-max-gas 100000000] [-default-gas 1000000] [-blocksize 100]
 //
 // With -data the node is durable: blocks append to a write-ahead log
 // before becoming visible, state snapshots are written every -snap-every
@@ -22,15 +23,19 @@
 //
 // Example session:
 //
-//	curl -s localhost:8547/status
-//	curl -s -X POST localhost:8547/tx -d '{
+//	curl -s localhost:8547/v1/status
+//	ID=$(curl -s -X POST -H 'Content-Type: application/json' localhost:8547/v1/tx -d '{
 //	  "sender":   "<0x… funded holder>",
 //	  "contract": "<0x… token address>",
 //	  "function": "transfer",
 //	  "args": [{"type":"address","value":"0x…"},{"type":"uint64","value":"5"}],
-//	  "gasLimit": 100000}'
-//	curl -s -X POST localhost:8547/mine -d '{"blockSize": 100}'
-//	curl -s localhost:8547/head
+//	  "gasLimit": 100000}' | sed 's/.*"id":"\([^"]*\)".*/\1/')
+//	curl -s -X POST localhost:8547/v1/mine -d '{"blockSize": 100}'
+//	curl -s localhost:8547/v1/tx/$ID        # the receipt, once durable
+//	curl -s localhost:8547/v1/head
+//
+// The unversioned routes (/tx, /mine, /status, …) remain as deprecated
+// aliases for one release; see docs/API.md.
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"contractstm/internal/api"
 	"contractstm/internal/contract"
 	"contractstm/internal/contracts"
 	"contractstm/internal/engine"
@@ -71,6 +77,9 @@ func run() error {
 		syncEvery  = flag.Int("sync-every", 1, "fsync the WAL every N blocks (negative = never)")
 		snapEvery  = flag.Int("snap-every", persist.DefaultSnapshotEvery, "write a state snapshot every N blocks (negative = never)")
 		pipeline   = flag.Int("pipeline", 1, "sealed-not-durable pipeline window (1 = synchronous mining)")
+		maxGas     = flag.Uint64("max-gas", api.DefaultMaxGasLimit, "reject submitted transactions with a gas limit above this")
+		defaultGas = flag.Uint64("default-gas", api.DefaultGasLimit, "gas limit assigned to transactions that leave it unset")
+		blockSize  = flag.Int("blocksize", api.DefaultBlockSize, "default block size for mine requests that leave it unset")
 	)
 	flag.Parse()
 
@@ -89,9 +98,12 @@ func run() error {
 	}
 	n, err := node.New(node.Config{
 		World: world, Workers: *workers, SelectionPolicy: policy, Engine: engKind,
-		DataDir: *dataDir,
-		Persist: persist.Options{SyncEvery: *syncEvery, SnapshotEvery: *snapEvery},
-		PipelineDepth: *pipeline,
+		DataDir:          *dataDir,
+		Persist:          persist.Options{SyncEvery: *syncEvery, SnapshotEvery: *snapEvery},
+		PipelineDepth:    *pipeline,
+		MaxGasLimit:      *maxGas,
+		DefaultGasLimit:  *defaultGas,
+		DefaultBlockSize: *blockSize,
 	})
 	if err != nil {
 		return err
@@ -105,12 +117,21 @@ func run() error {
 	}
 	printDemoAddresses()
 
-	srv := &http.Server{Addr: *addr, Handler: n.Handler()}
-	if *dataDir == "" {
-		return srv.ListenAndServe()
+	// Slow-client protection: bound header and request reads and reap
+	// idle keep-alive connections. WriteTimeout stays unset — the
+	// /v1/subscribe event stream is a deliberately long-lived response,
+	// and per-request handling is already bounded by the API layer's
+	// route timeouts.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           n.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	// Durable nodes shut down gracefully so the pending mempool is saved
-	// and the WAL is cleanly synced.
+	// Every node shuts down gracefully on SIGINT/SIGTERM: in-flight
+	// requests drain, and a durable node additionally saves its pending
+	// mempool and cleanly syncs the WAL in Close.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -128,7 +149,11 @@ func run() error {
 	if err := n.Close(); err != nil {
 		return err
 	}
-	fmt.Println("nodesrv: state and mempool saved, bye")
+	if *dataDir != "" {
+		fmt.Println("nodesrv: state and mempool saved, bye")
+	} else {
+		fmt.Println("nodesrv: bye")
+	}
 	return nil
 }
 

@@ -20,7 +20,10 @@
 // policies, including engine-feedback lock-hints), persist (block WAL,
 // group-commit writer, state snapshots, crash recovery), pipeline (the
 // staged block-production window: sealed vs durable, back-pressure,
-// abort), node (the HTTP-served node), cluster (multi-node propagation,
+// abort), node (the assembled node), api (the versioned /v1 client API:
+// typed wire schema, durable transaction receipts, SSE event streams,
+// server middleware, with api/wire the schema and api/client the Go
+// SDK — see docs/API.md), cluster (multi-node propagation over the SDK,
 // durable-ordered publish, catch-up sync and snapshot fast-sync),
 // workload/stats/bench (the evaluation harness).
 package contractstm

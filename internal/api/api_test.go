@@ -1,0 +1,103 @@
+package api
+
+import (
+	"fmt"
+	"testing"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/types"
+)
+
+func id(i int) types.Hash { return types.HashString(fmt.Sprintf("tx-%d", i)) }
+
+func TestReceiptStorePendingThenRecord(t *testing.T) {
+	s := NewReceiptStore(8)
+	s.MarkPending(id(1))
+	rec, ok := s.Get(id(1))
+	if !ok || rec.Status != wire.StatusPending {
+		t.Fatalf("pending lookup = %+v ok=%v", rec, ok)
+	}
+	if rec.TxIndex != -1 || rec.ScheduleIndex != -1 {
+		t.Fatalf("pending marker carries block coordinates: %+v", rec)
+	}
+	s.Record(id(1), wire.TxReceipt{ID: id(1).String(), Status: wire.StatusCommitted, GasUsed: 9, BlockHeight: 3})
+	rec, _ = s.Get(id(1))
+	if rec.Status != wire.StatusCommitted || rec.GasUsed != 9 {
+		t.Fatalf("recorded receipt = %+v", rec)
+	}
+	// A resubmission of identical bytes must not mask the recorded
+	// outcome.
+	s.MarkPending(id(1))
+	if rec, _ = s.Get(id(1)); rec.Status != wire.StatusCommitted {
+		t.Fatalf("MarkPending overwrote a durable receipt: %+v", rec)
+	}
+	if _, ok := s.Get(id(2)); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+func TestReceiptStoreBounded(t *testing.T) {
+	const cap = 16
+	s := NewReceiptStore(cap)
+	for i := 0; i < 5*cap; i++ {
+		s.Record(id(i), wire.TxReceipt{ID: id(i).String(), Status: wire.StatusCommitted})
+	}
+	if s.Len() != cap {
+		t.Fatalf("len = %d, want %d", s.Len(), cap)
+	}
+	// Oldest evicted, newest kept.
+	if _, ok := s.Get(id(0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := s.Get(id(5*cap - 1)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestBrokerDeliversInOrder(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 3; i++ {
+		b.Publish(wire.Event{Block: wire.BlockInfo{Number: uint64(i + 1)}})
+	}
+	for i := 0; i < 3; i++ {
+		ev := <-sub.C
+		if ev.Seq != uint64(i) || ev.Block.Number != uint64(i+1) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestBrokerDropsSlowSubscriber: a full buffer never blocks Publish —
+// the subscriber is cut loose instead, and the accounting shows it.
+func TestBrokerDropsSlowSubscriber(t *testing.T) {
+	b := NewBroker()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(16)
+	defer fast.Close()
+	// First fills slow's buffer; second overflows it → dropped.
+	b.Publish(wire.Event{})
+	b.Publish(wire.Event{})
+	b.Publish(wire.Event{})
+	if b.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1 (slow dropped)", b.Subscribers())
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped = %d", b.Dropped())
+	}
+	// The slow channel holds its buffered event, then reports closure.
+	<-slow.C
+	if _, ok := <-slow.C; ok {
+		t.Fatal("dropped subscription channel not closed")
+	}
+	// The fast subscriber saw everything.
+	for i := 0; i < 3; i++ {
+		if ev := <-fast.C; ev.Seq != uint64(i) {
+			t.Fatalf("fast missed event %d", i)
+		}
+	}
+	// Closing twice is fine; publishing after close doesn't panic.
+	slow.Close()
+	b.Publish(wire.Event{})
+}

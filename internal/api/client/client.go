@@ -1,0 +1,441 @@
+// Package client is the Go SDK for the node's versioned /v1 API
+// (internal/api): typed methods over the wire schema, context-first,
+// with a bounded retry policy for idempotent requests.
+//
+// Everything that speaks HTTP to a node lives here — cluster.Peer, the
+// cmd tools and the benchmarks are built on this client, so transport
+// concerns (retries, error decoding, body limits) exist exactly once.
+//
+// Retry policy: GETs are idempotent and are retried on transport errors
+// and 5xx answers with exponential backoff. A 4xx answer is the server's
+// considered refusal and is never retried. Writes are never retried by
+// the SDK: the mempool does not deduplicate by content, so a resent
+// submit whose first attempt actually landed would execute twice — a
+// client that must retry a lost submit should poll the content-derived
+// ID first. Block import (POST /v1/blocks) is left to the caller's
+// delivery strategy (cluster.Broadcaster owns broadcast retries).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/chain"
+	"contractstm/internal/contract"
+	"contractstm/internal/persist"
+	"contractstm/internal/types"
+)
+
+// APIError is a non-2xx answer from the node: the machine-readable code
+// from the wire error envelope plus the HTTP status.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("api client: status %d (%s): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("api client: status %d: %s", e.Status, e.Message)
+}
+
+// IsCode reports whether err is an *APIError carrying the given wire
+// code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// RetryPolicy bounds retries of idempotent requests.
+type RetryPolicy struct {
+	// MaxAttempts is tries per request (<=0 selects 3).
+	MaxAttempts int
+	// Backoff is the first retry's delay, doubling per attempt
+	// (<=0 selects 25ms).
+	Backoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 25 * time.Millisecond
+	}
+	return p
+}
+
+// NoRetry disables retries (single attempt per request).
+var NoRetry = RetryPolicy{MaxAttempts: 1, Backoff: time.Nanosecond}
+
+// Client is a typed client for one node's /v1 API.
+type Client struct {
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying HTTP client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetry replaces the retry policy for idempotent requests.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// New returns a client for the node served at baseURL.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{Timeout: 30 * time.Second},
+		retry: RetryPolicy{}.withDefaults(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// URL returns the client's base URL.
+func (c *Client) URL() string { return c.base }
+
+// do performs one request built by build (a fresh request per attempt so
+// bodies re-send cleanly), retrying per policy when retryable.
+func (c *Client) do(ctx context.Context, retryable bool, build func() (*http.Request, error)) (*http.Response, error) {
+	policy := c.retry
+	if !retryable {
+		policy = NoRetry
+	}
+	delay := policy.Backoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req.WithContext(ctx))
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode >= 500:
+			lastErr = decodeError(resp)
+		default:
+			return resp, nil
+		}
+		if attempt >= policy.MaxAttempts || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		delay *= 2
+	}
+}
+
+// getJSON fetches path and decodes the response into out.
+func (c *Client) getJSON(ctx context.Context, path string, limit int64, out any) error {
+	resp, err := c.do(ctx, true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+path, nil)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, limit)).Decode(out); err != nil {
+		return fmt.Errorf("api client: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// postJSON posts body to path and decodes the response into out.
+func (c *Client) postJSON(ctx context.Context, path string, retryable bool, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("api client: encode %s: %w", path, err)
+	}
+	resp, err := c.do(ctx, retryable, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out); err != nil {
+		return fmt.Errorf("api client: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError drains a non-2xx response into an *APIError.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	ae := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	var envelope wire.Error
+	if json.Unmarshal(body, &envelope) == nil && envelope.Message != "" {
+		ae.Code, ae.Message = envelope.Code, envelope.Message
+	}
+	return ae
+}
+
+// SubmitTx submits a transaction and returns its content-derived ID.
+// Not retried: a lost response does not mean a lost submission, and the
+// pool would hold (and execute) both copies. On a transport error, poll
+// Receipt with the locally derivable ID (wire.TxIDOf) before resending.
+func (c *Client) SubmitTx(ctx context.Context, tx wire.TxSubmit) (wire.TxSubmitted, error) {
+	var out wire.TxSubmitted
+	err := c.postJSON(ctx, "/v1/tx", false, tx, &out)
+	return out, err
+}
+
+// SubmitCall submits a contract call (SubmitTx over SubmitOf).
+func (c *Client) SubmitCall(ctx context.Context, call contract.Call) (wire.TxSubmitted, error) {
+	tx, err := wire.SubmitOf(call)
+	if err != nil {
+		return wire.TxSubmitted{}, fmt.Errorf("api client: %w", err)
+	}
+	return c.SubmitTx(ctx, tx)
+}
+
+// Receipt fetches a transaction's current receipt: status pending until
+// the containing block is durable, committed/aborted after. Unknown IDs
+// answer an *APIError with code wire.CodeTxNotFound.
+func (c *Client) Receipt(ctx context.Context, id string) (wire.TxReceipt, error) {
+	var out wire.TxReceipt
+	err := c.getJSON(ctx, "/v1/tx/"+id, 1<<16, &out)
+	return out, err
+}
+
+// WaitReceipt polls Receipt until the transaction reaches a final
+// (durable) status, the context ends, or the ID becomes unknown. poll
+// <= 0 selects 10ms.
+func (c *Client) WaitReceipt(ctx context.Context, id string, poll time.Duration) (wire.TxReceipt, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		rec, err := c.Receipt(ctx, id)
+		if err != nil {
+			return wire.TxReceipt{}, err
+		}
+		if rec.Status != wire.StatusPending {
+			return rec, nil
+		}
+		select {
+		case <-ctx.Done():
+			return rec, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Head fetches the node's durable chain tip.
+func (c *Client) Head(ctx context.Context) (wire.BlockInfo, error) {
+	var out wire.BlockInfo
+	err := c.getJSON(ctx, "/v1/head", 1<<16, &out)
+	return out, err
+}
+
+// Status fetches node status including API metrics.
+func (c *Client) Status(ctx context.Context) (wire.Status, error) {
+	var out wire.Status
+	err := c.getJSON(ctx, "/v1/status", 1<<20, &out)
+	return out, err
+}
+
+// Mine asks the node to mine one block of at most blockSize transactions
+// (0 = node default). Mining is not idempotent and never retried.
+func (c *Client) Mine(ctx context.Context, blockSize int) (wire.BlockInfo, error) {
+	var out wire.BlockInfo
+	err := c.postJSON(ctx, "/v1/mine", false, wire.Mine{BlockSize: blockSize}, &out)
+	return out, err
+}
+
+// Balance reads an account balance at the node's current block boundary.
+func (c *Client) Balance(ctx context.Context, addr types.Address) (types.Amount, error) {
+	var out wire.Balance
+	if err := c.getJSON(ctx, "/v1/state/"+addr.String(), 1<<16, &out); err != nil {
+		return 0, err
+	}
+	return types.Amount(out.Balance), nil
+}
+
+// Block fetches and decodes the node's durable block at height. The
+// decode path re-verifies header commitments, so a corrupted stream is
+// rejected here; execution-level trust comes from block import. Missing
+// heights answer an *APIError with code wire.CodeBlockNotFound.
+func (c *Client) Block(ctx context.Context, height uint64) (chain.Block, error) {
+	resp, err := c.do(ctx, true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/blocks/%d", c.base, height), nil)
+	})
+	if err != nil {
+		return chain.Block{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return chain.Block{}, decodeError(resp)
+	}
+	b, err := chain.DecodeBlock(io.LimitReader(resp.Body, chain.MaxWireBlock))
+	if err != nil {
+		return chain.Block{}, fmt.Errorf("api client: block %d: %w", height, err)
+	}
+	return b, nil
+}
+
+// SendBlock ships a sealed block for import. A 2xx answer — including
+// the node reporting it already knew the block — is success. Never
+// retried here; delivery strategies own their retries.
+func (c *Client) SendBlock(ctx context.Context, b chain.Block) error {
+	raw, err := chain.MarshalBlock(b)
+	if err != nil {
+		return fmt.Errorf("api client: send block %d: %w", b.Header.Number, err)
+	}
+	resp, err := c.do(ctx, false, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/blocks", bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// Snapshot fetches the node's state checkpoint (snapshot fast-sync).
+func (c *Client) Snapshot(ctx context.Context) (persist.Snapshot, error) {
+	resp, err := c.do(ctx, true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/snapshot", nil)
+	})
+	if err != nil {
+		return persist.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return persist.Snapshot{}, decodeError(resp)
+	}
+	s, err := persist.DecodeSnapshot(io.LimitReader(resp.Body, persist.MaxSnapshotWire))
+	if err != nil {
+		return persist.Snapshot{}, fmt.Errorf("api client: snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Stream is a live event subscription (GET /v1/subscribe).
+type Stream struct {
+	resp    *http.Response
+	scanner *bufio.Scanner
+	cancel  context.CancelFunc
+}
+
+// ErrStreamDropped reports that the server disconnected this subscriber
+// for falling behind; resubscribe and catch up via Block.
+var ErrStreamDropped = errors.New("api client: subscription dropped by server (fell behind)")
+
+// Subscribe opens the durable-block event stream. The stream lives until
+// Close, the context ends, or the server drops a lagging subscriber
+// (Next returns ErrStreamDropped).
+func (c *Client) Subscribe(ctx context.Context) (*Stream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("api client: subscribe: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// The stream outlives any request deadline: use a client without the
+	// SDK's overall timeout (http.Client.Timeout covers reading the
+	// response body, which would cut the subscription off mid-stream).
+	// Lifetime control is the context's job.
+	stream := *c.hc
+	stream.Timeout = 0
+	resp, err := stream.Do(req)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("api client: subscribe: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer cancel()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	return &Stream{resp: resp, scanner: sc, cancel: cancel}, nil
+}
+
+// Next blocks for the next event. It returns ErrStreamDropped when the
+// server disconnected a lagging subscriber, io.EOF on a clean close.
+func (s *Stream) Next() (wire.Event, error) {
+	var event string
+	for s.scanner.Scan() {
+		line := s.scanner.Text()
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// Comment / keep-alive.
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if event == "dropped" {
+				return wire.Event{}, ErrStreamDropped
+			}
+			var ev wire.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return wire.Event{}, fmt.Errorf("api client: event decode: %w", err)
+			}
+			return ev, nil
+		}
+	}
+	if err := s.scanner.Err(); err != nil {
+		return wire.Event{}, err
+	}
+	return wire.Event{}, io.EOF
+}
+
+// Close terminates the subscription.
+func (s *Stream) Close() {
+	s.cancel()
+	_ = s.resp.Body.Close()
+}

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"contractstm/internal/api/wire"
+)
+
+// DefaultSubscriberBuffer is how many undelivered events a subscriber
+// may lag before the broker drops it.
+const DefaultSubscriberBuffer = 64
+
+// Broker fans durable-block events out to event-stream subscribers.
+// Publish never blocks the caller — the node publishes from its block
+// pipeline, and a stalled client must never back-pressure mining — so a
+// subscriber whose buffer is full is dropped (its channel closed); the
+// client observes the close, resubscribes, and catches up through
+// GET /v1/blocks using the sequence gap.
+type Broker struct {
+	mu   sync.Mutex
+	next uint64 // next event sequence number
+	subs map[*Subscription]struct{}
+	// dropped counts subscriptions terminated for falling behind.
+	dropped atomic.Int64
+}
+
+// Subscription is one subscriber's event feed. C is closed when the
+// subscriber is dropped (buffer overflow) or Close is called.
+type Subscription struct {
+	C      <-chan wire.Event
+	ch     chan wire.Event
+	broker *Broker
+	once   sync.Once
+}
+
+// Close detaches the subscription and closes C.
+func (s *Subscription) Close() {
+	s.broker.remove(s)
+	s.once.Do(func() { close(s.ch) })
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker { return &Broker{subs: make(map[*Subscription]struct{})} }
+
+// Subscribe attaches a new subscriber with the given buffer (<=0 selects
+// DefaultSubscriberBuffer). Events published after this call are
+// delivered; there is no replay.
+func (b *Broker) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	s := &Subscription{broker: b, ch: make(chan wire.Event, buffer)}
+	s.C = s.ch
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// remove detaches s without closing its channel.
+func (b *Broker) remove(s *Subscription) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Publish assigns ev the next sequence number and delivers it to every
+// subscriber that has room, dropping those that do not. It never blocks.
+func (b *Broker) Publish(ev wire.Event) {
+	b.mu.Lock()
+	ev.Seq = b.next
+	b.next++
+	var drop []*Subscription
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			drop = append(drop, s)
+		}
+	}
+	for _, s := range drop {
+		delete(b.subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range drop {
+		b.dropped.Add(1)
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// Subscribers reports live subscriptions.
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped reports subscriptions terminated for falling behind.
+func (b *Broker) Dropped() int64 { return b.dropped.Load() }

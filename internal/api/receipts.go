@@ -1,0 +1,109 @@
+package api
+
+import (
+	"container/list"
+	"sync"
+
+	"contractstm/internal/types"
+
+	"contractstm/internal/api/wire"
+)
+
+// DefaultReceiptCapacity bounds the receipt store when the node config
+// leaves it zero.
+const DefaultReceiptCapacity = 4096
+
+// ReceiptStore is the bounded receipt index behind GET /v1/tx/{id}: a
+// map from content-derived transaction ID to the transaction's current
+// lifecycle state (pending, or a full receipt once its block is
+// durable), evicting least-recently-written entries past the capacity.
+//
+// The store never decides durability — callers record receipts only for
+// blocks the persistence layer has acknowledged (the node's crash rule),
+// so everything the store serves is crash-stable by construction.
+type ReceiptStore struct {
+	mu  sync.Mutex
+	cap int
+	// entries maps tx ID to its list element; the list is LRU order,
+	// front = most recently written.
+	entries map[types.Hash]*list.Element
+	lru     *list.List
+}
+
+// receiptEntry is one tracked transaction.
+type receiptEntry struct {
+	id types.Hash
+	r  wire.TxReceipt
+}
+
+// NewReceiptStore returns a store bounded to capacity entries
+// (<=0 selects DefaultReceiptCapacity).
+func NewReceiptStore(capacity int) *ReceiptStore {
+	if capacity <= 0 {
+		capacity = DefaultReceiptCapacity
+	}
+	return &ReceiptStore{
+		cap:     capacity,
+		entries: make(map[types.Hash]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// MarkPending records a submitted-but-not-yet-durable transaction, so a
+// client that just submitted polls "pending" rather than "not found".
+// A transaction that already has a durable receipt is left alone — a
+// resubmission of identical bytes must not mask the recorded outcome.
+func (s *ReceiptStore) MarkPending(id types.Hash) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		if el.Value.(*receiptEntry).r.Status == wire.StatusPending {
+			s.lru.MoveToFront(el)
+		}
+		return
+	}
+	s.put(id, wire.TxReceipt{ID: id.String(), Status: wire.StatusPending, TxIndex: -1, ScheduleIndex: -1})
+}
+
+// Record stores a durable receipt, overwriting any pending marker (or a
+// previous execution of byte-identical calls).
+func (s *ReceiptStore) Record(id types.Hash, r wire.TxReceipt) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		el.Value.(*receiptEntry).r = r
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.put(id, r)
+}
+
+// put inserts a fresh entry, evicting the oldest past capacity. Caller
+// holds s.mu.
+func (s *ReceiptStore) put(id types.Hash, r wire.TxReceipt) {
+	s.entries[id] = s.lru.PushFront(&receiptEntry{id: id, r: r})
+	for s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*receiptEntry).id)
+	}
+}
+
+// Get returns the transaction's current receipt (possibly a pending
+// marker) and whether the store knows the ID at all.
+func (s *ReceiptStore) Get(id types.Hash) (wire.TxReceipt, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
+	if !ok {
+		return wire.TxReceipt{}, false
+	}
+	return el.Value.(*receiptEntry).r, true
+}
+
+// Len reports tracked transactions (pending and receipted).
+func (s *ReceiptStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

@@ -1,0 +1,529 @@
+// Package api is the node's versioned HTTP serving layer: the /v1
+// routes (typed wire schema, transaction receipts, event streams), the
+// legacy unversioned aliases kept for one release, and the server
+// middleware — request body limits, per-route timeouts and request
+// metrics.
+//
+// The package is deliberately independent of internal/node: the server
+// talks to the node through the narrow Backend interface, and the
+// receipt store and event broker are passed in by the node, which owns
+// feeding them (receipts are recorded only once a block is durable — the
+// crash rule extends to the client API). internal/api/client is the Go
+// SDK for this surface; internal/api/wire is the schema both sides
+// share.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/chain"
+	"contractstm/internal/contract"
+	"contractstm/internal/gas"
+	"contractstm/internal/persist"
+	"contractstm/internal/types"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultBlockSize caps mined blocks when the request leaves the
+	// size unset.
+	DefaultBlockSize = 100
+	// DefaultGasLimit is assigned to submitted transactions that leave
+	// the gas limit unset.
+	DefaultGasLimit = 1_000_000
+	// DefaultMaxGasLimit rejects submitted gas limits above it.
+	DefaultMaxGasLimit = 100_000_000
+	// DefaultMaxBodyBytes bounds JSON request bodies.
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultTimeout bounds non-streaming request handling.
+	DefaultTimeout = 60 * time.Second
+)
+
+// Backend is the node surface the server serves. Implementations:
+// *node.Node. Every method must be safe for concurrent use.
+type Backend interface {
+	// SubmitTx admits a transaction to the pool, marks it pending in the
+	// receipt store (the backend owns the store's write side) and
+	// returns its content-derived ID.
+	SubmitTx(contract.Call) types.Hash
+	// PoolLen reports queued transactions.
+	PoolLen() int
+	// MineOne mines one block of at most blockSize transactions.
+	MineOne(blockSize int) (chain.Block, error)
+	// ImportBlock validates and appends a foreign block; alreadyKnown
+	// reports an idempotent re-import (a 2xx answer, not an error).
+	ImportBlock(b chain.Block) (alreadyKnown bool, err error)
+	// DurableBlock returns the block at the given height if the node
+	// holds it and it is durable (the crash rule gates the wire API).
+	DurableBlock(height uint64) (chain.Block, bool)
+	// DurableHead returns the newest durable block.
+	DurableHead() chain.Block
+	// APIStatus snapshots node statistics in wire form (API field nil;
+	// the server fills it).
+	APIStatus() wire.Status
+	// Snapshot produces the state checkpoint GET /v1/snapshot serves
+	// when no cached wire encoding exists.
+	Snapshot() (persist.Snapshot, error)
+	// SnapshotWire returns the cached framed snapshot bytes, or nil.
+	SnapshotWire() []byte
+	// BalanceAt reads an account balance at the current block boundary.
+	BalanceAt(types.Address) (types.Amount, error)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Backend is the node (required).
+	Backend Backend
+	// Receipts is the receipt index the backend records into (required).
+	Receipts *ReceiptStore
+	// Events is the durable-block broker the backend publishes to
+	// (required for /v1/subscribe; nil disables the route).
+	Events *Broker
+	// DefaultBlockSize, DefaultGasLimit, MaxGasLimit and MaxBodyBytes
+	// tune request handling; zero selects the package defaults.
+	DefaultBlockSize int
+	DefaultGasLimit  uint64
+	MaxGasLimit      uint64
+	MaxBodyBytes     int64
+	// Timeout bounds every non-streaming request (0 = DefaultTimeout,
+	// negative = none). The event stream is exempt.
+	Timeout time.Duration
+	// ErrorLog receives server-side serving faults (response encoding
+	// failures — malformed DTOs must not be silent). Nil discards.
+	ErrorLog func(error)
+}
+
+// Server is the node's HTTP API: /v1 plus legacy aliases.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler
+
+	// request metrics (lock-free; read by the status handler).
+	requests atomic.Int64
+	errs     atomic.Int64
+	routeMu  sync.Mutex
+	byRoute  map[string]*atomic.Int64
+}
+
+// NewServer builds the API server for a backend.
+func NewServer(cfg Config) *Server {
+	if cfg.DefaultBlockSize <= 0 {
+		cfg.DefaultBlockSize = DefaultBlockSize
+	}
+	if cfg.DefaultGasLimit == 0 {
+		cfg.DefaultGasLimit = DefaultGasLimit
+	}
+	if cfg.MaxGasLimit == 0 {
+		cfg.MaxGasLimit = DefaultMaxGasLimit
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), byRoute: make(map[string]*atomic.Int64)}
+
+	// /v1 routes. Every non-streaming handler runs under the timeout
+	// middleware; the subscribe stream must not (TimeoutHandler buffers
+	// writes, which would break flushing).
+	// The two binary download routes skip the timeout middleware too:
+	// http.TimeoutHandler buffers the whole response before copying it
+	// out, which would add a full-body copy on exactly the paths the
+	// cached wire encodings exist to keep cheap.
+	s.route("POST /v1/tx", s.handleTx, true)
+	s.route("GET /v1/tx/{id}", s.handleReceipt, true)
+	s.route("POST /v1/mine", s.handleMine, true)
+	s.route("POST /v1/blocks", s.handleImportBlock, true)
+	s.route("GET /v1/blocks/{height}", s.handleGetBlock, false)
+	s.route("GET /v1/head", s.handleHead, true)
+	s.route("GET /v1/status", s.handleStatus, true)
+	s.route("GET /v1/state/{address}", s.handleBalance, true)
+	s.route("GET /v1/snapshot", s.handleSnapshot, false)
+	s.route("GET /v1/subscribe", s.handleSubscribe, false)
+
+	// Legacy unversioned aliases, kept for one release. Same handlers
+	// (the v1 responses are supersets of the legacy shapes); answers
+	// carry a Deprecation header pointing clients at /v1.
+	s.alias("POST /tx", s.handleTx, true)
+	s.alias("POST /mine", s.handleMine, true)
+	s.alias("POST /blocks", s.handleImportBlock, true)
+	s.alias("GET /blocks/{height}", s.handleGetBlock, false)
+	s.alias("GET /head", s.handleHead, true)
+	s.alias("GET /status", s.handleStatus, true)
+	s.alias("GET /snapshot", s.handleSnapshot, false)
+
+	s.handler = s.mux
+	return s
+}
+
+// route registers pattern with the metrics middleware, and — for
+// non-streaming routes — the timeout middleware.
+func (s *Server) route(pattern string, h http.HandlerFunc, timed bool) {
+	var handler http.Handler = h
+	if timed && s.cfg.Timeout > 0 {
+		handler = http.TimeoutHandler(handler, s.cfg.Timeout, "request timed out")
+	}
+	s.mux.Handle(pattern, s.measure(pattern, handler))
+}
+
+// alias registers a deprecated unversioned route over the same handler,
+// under the same middleware decision its /v1 twin made.
+func (s *Server) alias(pattern string, h http.HandlerFunc, timed bool) {
+	s.route(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1>; rel="successor-version"`)
+		h(w, r)
+	}, timed)
+}
+
+// statusRecorder captures the response code for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards flushing so the SSE stream works through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// measure wraps a route with request counting.
+func (s *Server) measure(pattern string, h http.Handler) http.Handler {
+	s.routeMu.Lock()
+	counter, ok := s.byRoute[pattern]
+	if !ok {
+		counter = &atomic.Int64{}
+		s.byRoute[pattern] = counter
+	}
+	s.routeMu.Unlock()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		counter.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		if rec.code >= 400 {
+			s.errs.Add(1)
+		}
+	})
+}
+
+// Metrics snapshots the server's request accounting.
+func (s *Server) Metrics() wire.APIMetrics {
+	m := wire.APIMetrics{
+		Requests: s.requests.Load(),
+		Errors:   s.errs.Load(),
+		ByRoute:  make(map[string]int64),
+	}
+	s.routeMu.Lock()
+	for pattern, c := range s.byRoute {
+		if n := c.Load(); n > 0 {
+			m.ByRoute[pattern] = n
+		}
+	}
+	s.routeMu.Unlock()
+	if s.cfg.Events != nil {
+		m.Subscribers = s.cfg.Events.Subscribers()
+		m.EventsDropped = s.cfg.Events.Dropped()
+	}
+	return m
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// logErr surfaces a serving fault through the configured hook.
+func (s *Server) logErr(err error) {
+	if s.cfg.ErrorLog != nil && err != nil {
+		s.cfg.ErrorLog(err)
+	}
+}
+
+// writeJSON sends v as a JSON response. The Content-Type header must be
+// set before WriteHeader flushes the header block, so every JSON-speaking
+// handler funnels through here. Encoding failures (a malformed DTO, a
+// client gone mid-write) go to the error hook instead of vanishing.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logErr(fmt.Errorf("api: encode response: %w", err))
+	}
+}
+
+// fail sends the error envelope. Wire errors keep their code; everything
+// else is wrapped under the given fallback code.
+func (s *Server) fail(w http.ResponseWriter, httpCode int, code string, err error) {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		s.writeJSON(w, httpCode, we)
+		return
+	}
+	s.writeJSON(w, httpCode, &wire.Error{Code: code, Message: err.Error()})
+}
+
+// decodeBody JSON-decodes a bounded request body, mapping the failure
+// modes to wire errors: wrong content type 415, oversized body 413,
+// malformed JSON 400. A nil dst just enforces type and bounds.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" && !jsonContentType(ct) {
+		s.fail(w, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia,
+			fmt.Errorf("content type %q, want application/json", ct))
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	err := json.NewDecoder(body).Decode(dst)
+	if err == nil || (err == io.EOF && allowEmptyBody(dst)) {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.fail(w, http.StatusRequestEntityTooLarge, wire.CodeBodyTooLarge,
+			fmt.Errorf("request body over %d bytes", s.cfg.MaxBodyBytes))
+		return false
+	}
+	s.fail(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+	return false
+}
+
+// jsonContentType accepts application/json with optional parameters.
+// Media types are case-insensitive (RFC 7231).
+func jsonContentType(ct string) bool {
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == "application/json"
+}
+
+// allowEmptyBody reports whether an empty body is acceptable for the
+// destination DTO (mine requests default everything).
+func allowEmptyBody(dst any) bool {
+	_, ok := dst.(*wire.Mine)
+	return ok
+}
+
+// handleTx is POST /v1/tx: validate, assign the content-derived ID,
+// admit to the pool.
+func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
+	var tx wire.TxSubmit
+	if !s.decodeBody(w, r, &tx) {
+		return
+	}
+	call, err := tx.Call()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	if call.GasLimit == 0 {
+		call.GasLimit = gas.Gas(s.cfg.DefaultGasLimit)
+	}
+	if uint64(call.GasLimit) > s.cfg.MaxGasLimit {
+		s.fail(w, http.StatusBadRequest, wire.CodeGasLimitTooHigh,
+			fmt.Errorf("gas limit %d over node maximum %d", call.GasLimit, s.cfg.MaxGasLimit))
+		return
+	}
+	id := s.cfg.Backend.SubmitTx(call)
+	s.writeJSON(w, http.StatusAccepted, wire.TxSubmitted{ID: id.String(), PoolLen: s.cfg.Backend.PoolLen()})
+}
+
+// handleReceipt is GET /v1/tx/{id}: the receipt lifecycle query.
+func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
+	id, err := types.ParseHash(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest, fmt.Errorf("tx id: %w", err))
+		return
+	}
+	rec, ok := s.cfg.Receipts.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, wire.CodeTxNotFound,
+			fmt.Errorf("no receipt for %s (unknown, evicted, or not yet submitted here)", id.Short()))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rec)
+}
+
+// handleMine is POST /v1/mine.
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req wire.Mine
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.BlockSize <= 0 {
+		req.BlockSize = s.cfg.DefaultBlockSize
+	}
+	block, err := s.cfg.Backend.MineOne(req.BlockSize)
+	if err != nil {
+		s.fail(w, http.StatusConflict, wire.CodeMineFailed, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.BlockInfoOf(block))
+}
+
+// handleImportBlock is POST /v1/blocks: the validator-node import path.
+// Blocks travel in the chain package's gob wire format, not JSON.
+func (s *Server) handleImportBlock(w http.ResponseWriter, r *http.Request) {
+	block, err := chain.DecodeBlock(io.LimitReader(r.Body, chain.MaxWireBlock))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	known, err := s.cfg.Backend.ImportBlock(block)
+	if err != nil {
+		s.fail(w, http.StatusConflict, wire.CodeBlockRejected, err)
+		return
+	}
+	info := wire.BlockInfoOf(block)
+	info.AlreadyKnown = known
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleGetBlock is GET /v1/blocks/{height}: gob block bytes, durable
+// blocks only (the crash rule covers the pull path).
+func (s *Server) handleGetBlock(w http.ResponseWriter, r *http.Request) {
+	height, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	block, ok := s.cfg.Backend.DurableBlock(height)
+	if !ok {
+		s.fail(w, http.StatusNotFound, wire.CodeBlockNotFound,
+			fmt.Errorf("no durable block at height %d", height))
+		return
+	}
+	raw, err := chain.MarshalBlock(block)
+	if err != nil {
+		s.logErr(fmt.Errorf("api: encode block %d: %w", height, err))
+		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	_, _ = w.Write(raw)
+}
+
+// handleHead is GET /v1/head: the durable chain tip.
+func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, wire.BlockInfoOf(s.cfg.Backend.DurableHead()))
+}
+
+// handleStatus is GET /v1/status: node status plus the API layer's own
+// request metrics.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Backend.APIStatus()
+	m := s.Metrics()
+	st.API = &m
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// handleBalance is GET /v1/state/{address}: a balance read at the
+// current block boundary.
+func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
+	addr, err := types.ParseAddress(r.PathValue("address"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadAddress, err)
+		return
+	}
+	bal, err := s.cfg.Backend.BalanceAt(addr)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.Balance{Address: addr.String(), Balance: uint64(bal)})
+}
+
+// handleSnapshot is GET /v1/snapshot: the state checkpoint for snapshot
+// fast-sync. Durable nodes serve the cached framed bytes — immutable
+// between writes, so per-request re-encoding would be pure waste.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if raw := s.cfg.Backend.SnapshotWire(); raw != nil {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+		_, _ = w.Write(raw)
+		return
+	}
+	snap, err := s.cfg.Backend.Snapshot()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, wire.CodeSnapshotUnavailable, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := persist.EncodeSnapshot(&buf, snap); err != nil {
+		s.logErr(fmt.Errorf("api: encode snapshot: %w", err))
+		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSubscribe is GET /v1/subscribe: a server-sent-event stream of
+// durable blocks and their receipts, in height order. A subscriber that
+// cannot keep up is disconnected (the broker never back-pressures block
+// production); the client resubscribes and fills the sequence gap via
+// GET /v1/blocks.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Events == nil {
+		s.fail(w, http.StatusNotFound, wire.CodeBadRequest, errors.New("event stream not enabled"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, errors.New("streaming unsupported"))
+		return
+	}
+	sub := s.cfg.Events.Subscribe(0)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, ": subscribed\n\n")
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Dropped for falling behind: tell the client before the
+				// connection closes so resubscribing is a protocol step,
+				// not a guess.
+				_, _ = io.WriteString(w, "event: dropped\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				s.logErr(fmt.Errorf("api: encode event: %w", err))
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: block\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"contractstm/internal/api/client"
+	"contractstm/internal/api/wire"
+	"contractstm/internal/engine"
+	"contractstm/internal/node"
+	"contractstm/internal/persist"
+	"contractstm/internal/workload"
+)
+
+// The receipt sweep measures the client-visible confirmation latency of
+// the /v1 API: the time from POST /v1/tx answering with a content-
+// derived ID to GET /v1/tx/{id} reporting a durable committed/aborted
+// receipt, while the node mines continuously under WAL-synced
+// persistence. The pipeline-depth axis shows the trade the pipeline
+// makes: deeper windows raise block throughput but delay the durability
+// verdict a receipt waits on. Wall-clock by nature — the disk and the
+// HTTP stack both sit on the measured path.
+
+// ReceiptConfig tunes the receipt-latency sweep.
+type ReceiptConfig struct {
+	// Kind selects the workload (default Token).
+	Kind workload.Kind
+	// BlockSize is transactions per block (default 64).
+	BlockSize int
+	// Blocks is how many blocks each point mines (default 8).
+	Blocks int
+	// Samples is how many transactions are tracked end to end through
+	// the SDK per point (default 16, capped at the total).
+	Samples int
+	// ConflictPercent follows the ClusterConfig convention: 0 = default
+	// (15), negative = conflict-free.
+	ConflictPercent int
+	// Workers is the node's pool size (default 3).
+	Workers int
+	// Seed makes workload generation deterministic (default DefaultSeed).
+	Seed int64
+	// Engines lists the engines to measure (default all).
+	Engines []engine.Kind
+	// Depths is the pipeline-depth axis (default 1, 4).
+	Depths []int
+}
+
+// WithDefaults returns c with every unset field at its default.
+func (c ReceiptConfig) WithDefaults() ReceiptConfig {
+	if c.Kind == 0 {
+		c.Kind = workload.KindToken
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 8
+	}
+	if c.Samples <= 0 {
+		c.Samples = 16
+	}
+	if c.ConflictPercent == 0 {
+		c.ConflictPercent = SweepConflictFixed
+	} else if c.ConflictPercent < 0 {
+		c.ConflictPercent = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = engine.Kinds()
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{1, 4}
+	}
+	return c
+}
+
+// ReceiptPoint is one (engine, depth) measurement.
+type ReceiptPoint struct {
+	Engine  engine.Kind
+	Depth   int
+	Blocks  int
+	Txs     int
+	Samples int
+	// Latency quantiles over the sampled submit→durable-receipt times.
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	MaxLatency  time.Duration
+	// Elapsed covers mining every block and draining the pipeline;
+	// BlocksPerSec attributes the latency to a throughput point.
+	Elapsed      time.Duration
+	BlocksPerSec float64
+}
+
+// MeasureReceipts runs one point: a durable node served over HTTP mines
+// cfg.Blocks blocks while Samples transactions are submitted and awaited
+// through the SDK — the full wire round-trip a real client sees.
+func MeasureReceipts(eng engine.Kind, depth int, cfg ReceiptConfig) (ReceiptPoint, error) {
+	cfg = cfg.WithDefaults()
+	totalTxs := cfg.Blocks * cfg.BlockSize
+	wl, err := workload.Generate(workload.Params{
+		Kind: cfg.Kind, Transactions: totalTxs,
+		ConflictPercent: cfg.ConflictPercent, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return ReceiptPoint{}, fmt.Errorf("bench: receipt workload: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "receiptbench-")
+	if err != nil {
+		return ReceiptPoint{}, fmt.Errorf("bench: receipt dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	n, err := node.New(node.Config{
+		World: wl.World, Workers: cfg.Workers, Engine: eng,
+		DataDir:       dir,
+		Persist:       persist.Options{SyncEvery: 1, SnapshotEvery: -1},
+		PipelineDepth: depth,
+	})
+	if err != nil {
+		return ReceiptPoint{}, fmt.Errorf("bench: receipt node: %w", err)
+	}
+	srv := httptest.NewServer(n.Handler())
+	defer srv.Close()
+	sdk := client.New(srv.URL)
+	ctx := context.Background()
+
+	// The sampled transactions go through POST /v1/tx (stamping their
+	// submit time); the rest of the workload takes the bulk path.
+	samples := cfg.Samples
+	if samples > totalTxs {
+		samples = totalTxs
+	}
+	stride := totalTxs / samples
+	type tracked struct {
+		id        string
+		submitted time.Time
+	}
+	var tracks []tracked
+	rest := wl.Calls[:0:0]
+	for i, call := range wl.Calls {
+		if len(tracks) < samples && i%stride == 0 {
+			sub, err := sdk.SubmitCall(ctx, call)
+			if err != nil {
+				return ReceiptPoint{}, fmt.Errorf("bench: receipt submit: %w", err)
+			}
+			tracks = append(tracks, tracked{id: sub.ID, submitted: time.Now()})
+			continue
+		}
+		rest = append(rest, call)
+	}
+	n.SubmitAll(rest)
+
+	// Mine while the waiter collects receipts concurrently — the receipt
+	// becomes visible only at the durability verdict, which on depth > 1
+	// trails the seal by up to the window size.
+	type waitResult struct {
+		latencies []time.Duration
+		err       error
+	}
+	done := make(chan waitResult, 1)
+	go func() {
+		var res waitResult
+		for _, tr := range tracks {
+			rec, err := sdk.WaitReceipt(ctx, tr.id, time.Millisecond)
+			if err != nil {
+				res.err = fmt.Errorf("bench: receipt wait %s: %w", tr.id, err)
+				break
+			}
+			if rec.Status == wire.StatusPending {
+				res.err = fmt.Errorf("bench: receipt %s still pending", tr.id)
+				break
+			}
+			res.latencies = append(res.latencies, time.Since(tr.submitted))
+		}
+		done <- res
+	}()
+
+	start := time.Now()
+	if _, err := n.MinePipelined(cfg.Blocks, cfg.BlockSize); err != nil {
+		return ReceiptPoint{}, fmt.Errorf("bench: receipt mine (%v depth %d): %w", eng, depth, err)
+	}
+	elapsed := time.Since(start)
+	waited := <-done
+	if waited.err != nil {
+		return ReceiptPoint{}, waited.err
+	}
+	if err := n.Close(); err != nil {
+		return ReceiptPoint{}, fmt.Errorf("bench: receipt close: %w", err)
+	}
+
+	pt := ReceiptPoint{
+		Engine: eng, Depth: depth, Blocks: cfg.Blocks, Txs: totalTxs,
+		Samples: len(waited.latencies), Elapsed: elapsed,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		pt.BlocksPerSec = float64(cfg.Blocks) / s
+	}
+	if len(waited.latencies) > 0 {
+		lat := waited.latencies
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		pt.MeanLatency = sum / time.Duration(len(lat))
+		pt.P50Latency = lat[len(lat)/2]
+		pt.MaxLatency = lat[len(lat)-1]
+	}
+	return pt, nil
+}
+
+// SweepReceipts measures every engine at every pipeline depth.
+func SweepReceipts(cfg ReceiptConfig) ([]ReceiptPoint, error) {
+	cfg = cfg.WithDefaults()
+	var out []ReceiptPoint
+	for _, eng := range cfg.Engines {
+		for _, depth := range cfg.Depths {
+			pt, err := MeasureReceipts(eng, depth, cfg)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WriteReceiptSweep renders the sweep as a table.
+func WriteReceiptSweep(w io.Writer, cfg ReceiptConfig, points []ReceiptPoint) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "Receipt latency (submit → durable receipt over /v1, %d blocks × %d txs, %d%% conflict, wal-sync)\n",
+		cfg.Blocks, cfg.BlockSize, cfg.ConflictPercent)
+	fmt.Fprintf(w, "%-12s %6s %8s %10s %10s %10s %9s\n",
+		"engine", "depth", "samples", "mean", "p50", "max", "blk/s")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12s %6d %8d %10s %10s %10s %9.1f\n",
+			p.Engine, p.Depth, p.Samples,
+			p.MeanLatency.Round(time.Microsecond),
+			p.P50Latency.Round(time.Microsecond),
+			p.MaxLatency.Round(time.Microsecond),
+			p.BlocksPerSec)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteReceiptCSV emits the sweep's data points as CSV.
+func WriteReceiptCSV(w io.Writer, points []ReceiptPoint) {
+	fmt.Fprintln(w, "engine,depth,blocks,txs,samples,mean_us,p50_us,max_us,blocks_per_sec")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%.2f\n",
+			p.Engine, p.Depth, p.Blocks, p.Txs, p.Samples,
+			p.MeanLatency.Microseconds(), p.P50Latency.Microseconds(),
+			p.MaxLatency.Microseconds(), p.BlocksPerSec)
+	}
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"testing"
+
+	"contractstm/internal/engine"
+)
+
+// TestReceiptSweepSmoke: a tiny receipt-latency sweep completes on the
+// synchronous and pipelined paths and measures something non-zero.
+func TestReceiptSweepSmoke(t *testing.T) {
+	cfg := ReceiptConfig{
+		Blocks: 2, BlockSize: 8, Samples: 4,
+		Engines: []engine.Kind{engine.KindSerial},
+		Depths:  []int{1, 2},
+	}
+	points, err := SweepReceipts(cfg)
+	if err != nil {
+		t.Fatalf("SweepReceipts: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Samples != 4 {
+			t.Fatalf("depth %d tracked %d samples, want 4", p.Depth, p.Samples)
+		}
+		if p.MeanLatency <= 0 || p.MaxLatency < p.P50Latency {
+			t.Fatalf("degenerate latencies: %+v", p)
+		}
+	}
+}

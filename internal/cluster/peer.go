@@ -5,8 +5,9 @@
 //
 // The pieces:
 //
-//   - Peer: a client for the node wire API (GET /head, GET /blocks/{h},
-//     POST /blocks);
+//   - Peer: a client view of one remote node, built on the versioned
+//     /v1 SDK (internal/api/client) — the cluster layer owns no raw
+//     HTTP;
 //   - Broadcaster: pushes newly-mined blocks to all peers with bounded
 //     retry/backoff;
 //   - Sync: catch-up — a lagging or newly-joined node walks from its head
@@ -21,16 +22,13 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
-	"time"
 
+	"contractstm/internal/api/client"
+	"contractstm/internal/api/wire"
 	"contractstm/internal/chain"
 	"contractstm/internal/persist"
 	"contractstm/internal/types"
@@ -39,8 +37,8 @@ import (
 // ErrNoBlock reports a requested height the peer does not have.
 var ErrNoBlock = errors.New("cluster: peer has no block at height")
 
-// ErrNoSnapshot reports a peer that does not serve state checkpoints
-// (an older build); fast-sync falls back to full catch-up.
+// ErrNoSnapshot reports a peer that does not serve state checkpoints;
+// fast-sync falls back to full catch-up.
 var ErrNoSnapshot = errors.New("cluster: peer serves no snapshot")
 
 // RemoteError is a non-2xx response from a peer: the peer was reachable
@@ -48,7 +46,10 @@ var ErrNoSnapshot = errors.New("cluster: peer serves no snapshot")
 // (the block was rejected), unlike a transport error.
 type RemoteError struct {
 	Status int
-	Msg    string
+	// Code is the machine-readable wire error code ("" from pre-v1
+	// peers).
+	Code string
+	Msg  string
 }
 
 // Error implements error.
@@ -56,58 +57,58 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("cluster: peer status %d: %s", e.Status, e.Msg)
 }
 
-// Peer is a client for one remote node's wire API.
+// Peer is a client view of one remote node's wire API. The transport —
+// requests, bounded retries of idempotent fetches, error decoding — is
+// the /v1 SDK's; Peer adds the cluster layer's error vocabulary.
 type Peer struct {
-	base   string
-	client *http.Client
+	c *client.Client
 }
 
 // NewPeer returns a peer client for a node served at baseURL. A nil
 // client gets a default with a conservative timeout.
-func NewPeer(baseURL string, client *http.Client) *Peer {
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+func NewPeer(baseURL string, hc *http.Client) *Peer {
+	opts := []client.Option{}
+	if hc != nil {
+		opts = append(opts, client.WithHTTPClient(hc))
 	}
-	return &Peer{base: strings.TrimRight(baseURL, "/"), client: client}
+	return &Peer{c: client.New(baseURL, opts...)}
 }
 
 // URL returns the peer's base URL.
-func (p *Peer) URL() string { return p.base }
+func (p *Peer) URL() string { return p.c.URL() }
 
-// Head is a peer's chain-tip summary, as served by GET /head.
+// Client exposes the underlying SDK client (receipt queries, event
+// subscriptions and other non-cluster calls).
+func (p *Peer) Client() *client.Client { return p.c }
+
+// peerErr converts an SDK failure into the cluster error vocabulary:
+// non-2xx answers become *RemoteError; transport errors pass through.
+func peerErr(err error) error {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return &RemoteError{Status: ae.Status, Code: ae.Code, Msg: ae.Message}
+	}
+	return err
+}
+
+// Head is a peer's chain-tip summary.
 type Head struct {
 	Number    uint64
 	Hash      types.Hash
 	StateRoot types.Hash
 }
 
-// Head fetches the peer's chain tip.
+// Head fetches the peer's durable chain tip.
 func (p *Peer) Head(ctx context.Context) (Head, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/head", nil)
+	info, err := p.c.Head(ctx)
 	if err != nil {
-		return Head{}, fmt.Errorf("cluster: head request: %w", err)
+		return Head{}, fmt.Errorf("cluster: head: %w", peerErr(err))
 	}
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return Head{}, fmt.Errorf("cluster: head: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return Head{}, remoteError(resp)
-	}
-	var wire struct {
-		Number    uint64 `json:"number"`
-		Hash      string `json:"hash"`
-		StateRoot string `json:"stateRoot"`
-	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&wire); err != nil {
-		return Head{}, fmt.Errorf("cluster: head decode: %w", err)
-	}
-	h := Head{Number: wire.Number}
-	if h.Hash, err = types.ParseHash(wire.Hash); err != nil {
+	h := Head{Number: info.Number}
+	if h.Hash, err = types.ParseHash(info.Hash); err != nil {
 		return Head{}, fmt.Errorf("cluster: head hash: %w", err)
 	}
-	if h.StateRoot, err = types.ParseHash(wire.StateRoot); err != nil {
+	if h.StateRoot, err = types.ParseHash(info.StateRoot); err != nil {
 		return Head{}, fmt.Errorf("cluster: head state root: %w", err)
 	}
 	return h, nil
@@ -117,90 +118,51 @@ func (p *Peer) Head(ctx context.Context) (Head, error) {
 // decode path re-verifies header commitments, so a corrupted stream is
 // rejected here; execution-level trust still comes from AcceptBlock.
 func (p *Peer) Block(ctx context.Context, height uint64) (chain.Block, error) {
-	url := fmt.Sprintf("%s/blocks/%d", p.base, height)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	b, err := p.c.Block(ctx, height)
 	if err != nil {
-		return chain.Block{}, fmt.Errorf("cluster: block request: %w", err)
-	}
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return chain.Block{}, fmt.Errorf("cluster: block %d: %w", height, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return chain.Block{}, fmt.Errorf("%w %d (%s)", ErrNoBlock, height, p.base)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return chain.Block{}, remoteError(resp)
-	}
-	b, err := chain.DecodeBlock(io.LimitReader(resp.Body, chain.MaxWireBlock))
-	if err != nil {
-		return chain.Block{}, fmt.Errorf("cluster: block %d: %w", height, err)
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			return chain.Block{}, fmt.Errorf("%w %d (%s)", ErrNoBlock, height, p.URL())
+		}
+		return chain.Block{}, fmt.Errorf("cluster: block %d: %w", height, peerErr(err))
 	}
 	return b, nil
 }
 
-// Snapshot fetches the peer's current state checkpoint (GET /snapshot):
-// the head header plus encoded world state. The decode path verifies the
-// frame checksum; the *claims* in the checkpoint are verified by
-// node.InstallSnapshot (state must hash to the header's root), and
-// trusting the header itself is the fast-sync trade-off.
+// Snapshot fetches the peer's current state checkpoint: the head header
+// plus encoded world state. The decode path verifies the frame checksum;
+// the *claims* in the checkpoint are verified by node.InstallSnapshot
+// (state must hash to the header's root), and trusting the header itself
+// is the fast-sync trade-off.
 func (p *Peer) Snapshot(ctx context.Context) (persist.Snapshot, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/snapshot", nil)
+	s, err := p.c.Snapshot(ctx)
 	if err != nil {
-		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot request: %w", err)
-	}
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return persist.Snapshot{}, fmt.Errorf("%w (%s)", ErrNoSnapshot, p.base)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return persist.Snapshot{}, remoteError(resp)
-	}
-	s, err := persist.DecodeSnapshot(io.LimitReader(resp.Body, persist.MaxSnapshotWire))
-	if err != nil {
-		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot: %w", err)
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			return persist.Snapshot{}, fmt.Errorf("%w (%s)", ErrNoSnapshot, p.URL())
+		}
+		return persist.Snapshot{}, fmt.Errorf("cluster: snapshot: %w", peerErr(err))
 	}
 	return s, nil
 }
 
 // SendBlock ships a sealed block to the peer for import. A 2xx answer —
 // including the peer reporting it already knew the block — is success;
-// any other answer is a *RemoteError carrying the peer's reason.
+// any other answer is a *RemoteError carrying the peer's reason. The SDK
+// does not retry block import; the Broadcaster owns delivery retries.
 func (p *Peer) SendBlock(ctx context.Context, b chain.Block) error {
-	raw, err := chain.MarshalBlock(b)
-	if err != nil {
-		return fmt.Errorf("cluster: send block %d: %w", b.Header.Number, err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+"/blocks", bytes.NewReader(raw))
-	if err != nil {
-		return fmt.Errorf("cluster: send request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("cluster: send block %d: %w", b.Header.Number, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return remoteError(resp)
+	if err := p.c.SendBlock(ctx, b); err != nil {
+		return fmt.Errorf("cluster: send block %d: %w", b.Header.Number, peerErr(err))
 	}
 	return nil
 }
 
-// remoteError drains a peer's error body into a *RemoteError.
-func remoteError(resp *http.Response) error {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	msg := strings.TrimSpace(string(body))
-	var wire struct {
-		Error string `json:"error"`
+// Receipt fetches a transaction receipt from the peer — a convenience
+// passthrough for demos and tools that already hold a Peer.
+func (p *Peer) Receipt(ctx context.Context, id string) (wire.TxReceipt, error) {
+	r, err := p.c.Receipt(ctx, id)
+	if err != nil {
+		return wire.TxReceipt{}, fmt.Errorf("cluster: receipt: %w", peerErr(err))
 	}
-	if json.Unmarshal(body, &wire) == nil && wire.Error != "" {
-		msg = wire.Error
-	}
-	return &RemoteError{Status: resp.StatusCode, Msg: msg}
+	return r, nil
 }

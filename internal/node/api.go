@@ -1,0 +1,144 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/chain"
+	"contractstm/internal/contract"
+	"contractstm/internal/gas"
+	"contractstm/internal/persist"
+	"contractstm/internal/runtime"
+	"contractstm/internal/stm"
+	"contractstm/internal/types"
+)
+
+// This file is the node's side of the versioned API: *Node implements
+// api.Backend, and Handler exposes the api.Server built in New. The
+// server owns HTTP concerns (schema, limits, timeouts, metrics); the
+// node owns semantics — and in particular the durability gate: every
+// block surface the API serves (blocks, head, receipts, events) is
+// bounded by what the persistence layer has acknowledged.
+
+// Handler returns the node's HTTP API: the /v1 routes plus the legacy
+// unversioned aliases (deprecated, kept for one release). The handler is
+// built once per node, so request metrics aggregate across callers.
+func (n *Node) Handler() http.Handler { return n.server }
+
+// SubmitTx implements api.Backend (pool admission + pending tracking).
+func (n *Node) SubmitTx(call contract.Call) types.Hash { return n.Submit(call) }
+
+// ImportBlock implements api.Backend over AcceptBlock, folding the
+// idempotent re-import case into a non-error answer.
+func (n *Node) ImportBlock(b chain.Block) (alreadyKnown bool, err error) {
+	if err := n.AcceptBlock(b); err != nil {
+		if errors.Is(err, ErrAlreadyKnown) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+// servedHeight is the highest height the wire API exposes: the durable
+// height on a durable pipelining node, the sealed head otherwise. A
+// syncing follower must never hold a block the miner could lose in a
+// crash and fork.
+func (n *Node) servedHeight() uint64 {
+	if n.prod == nil || n.log == nil {
+		return n.Height()
+	}
+	return n.durableHeight.Load()
+}
+
+// DurableBlock implements api.Backend: the block at height, only if it
+// is at or under the durability line. The crash rule covers the pull
+// path — the API must never hand out a sealed-not-durable block, or a
+// client could hold state the node loses in a crash.
+func (n *Node) DurableBlock(height uint64) (chain.Block, bool) {
+	if height > n.servedHeight() {
+		return chain.Block{}, false
+	}
+	return n.BlockAt(height)
+}
+
+// DurableHead implements api.Backend: the newest durable block. The
+// sealed chain always holds its durable prefix, so the lookup cannot
+// miss; a pruned chain's base is durable by construction.
+func (n *Node) DurableHead() chain.Block {
+	if b, ok := n.BlockAt(n.servedHeight()); ok {
+		return b
+	}
+	return n.Head()
+}
+
+// Snapshot implements api.Backend.
+func (n *Node) Snapshot() (persist.Snapshot, error) { return n.SnapshotNow() }
+
+// SnapshotWire implements api.Backend: the cached framed snapshot bytes
+// of a durable node (immutable between checkpoint writes), or nil.
+func (n *Node) SnapshotWire() []byte {
+	if n.log == nil {
+		return nil
+	}
+	return n.log.LatestSnapshotWire()
+}
+
+// BalanceAt implements api.Backend: a read of one account's balance at
+// the current block boundary. It runs a one-shot serial transaction on a
+// simulated thread under execMu, so the read never interleaves with an
+// executing block. On a pipelining node this reads the sealed state —
+// balances, unlike receipts, are a point-in-time convenience query, not
+// a durability promise.
+func (n *Node) BalanceAt(addr types.Address) (types.Amount, error) {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	var bal types.Amount
+	var readErr error
+	if _, err := runtime.NewSimRunner().Run(1, func(th runtime.Thread) {
+		tx := stm.BeginSerial(0, th, gas.NewMeter(1_000_000), n.world.Schedule())
+		bal, readErr = n.world.BalanceOf(tx, addr)
+		if readErr != nil {
+			_ = tx.Abort()
+			return
+		}
+		readErr = tx.Commit()
+	}); err != nil {
+		return 0, fmt.Errorf("node: balance read: %w", err)
+	}
+	if readErr != nil {
+		return 0, fmt.Errorf("node: balance read: %w", readErr)
+	}
+	return bal, nil
+}
+
+// APIStatus implements api.Backend: CurrentStatus in wire form (hashes
+// as hex strings). The API field stays nil; the serving layer fills it.
+func (n *Node) APIStatus() wire.Status {
+	st := n.CurrentStatus()
+	return wire.Status{
+		Height:          st.Height,
+		HeadHash:        st.HeadHash.String(),
+		PoolLen:         st.PoolLen,
+		Engine:          st.Engine,
+		MinedBlocks:     st.MinedBlocks,
+		ValidatedBlocks: st.ValidatedBlocks,
+		TotalRetries:    st.TotalRetries,
+		DurableHeight:   st.DurableHeight,
+		PipelineDepth:   st.PipelineDepth,
+		InFlight:        st.InFlight,
+		Persistent:      st.Persistent,
+		RecoveredBlocks: st.RecoveredBlocks,
+		SnapshotHeight:  st.SnapshotHeight,
+		SnapshotErrors:  st.SnapshotErrors,
+		WalAppends:      st.WalAppends,
+		WalBytesWritten: st.WalBytesWritten,
+		WalFsyncs:       st.WalFsyncs,
+		WalFsyncMicros:  st.WalFsyncMicros,
+		WalGroupCommits: st.WalGroupCommits,
+		WalMaxGroup:     st.WalMaxGroup,
+		ChainBase:       st.ChainBase,
+	}
+}

@@ -1,22 +1,30 @@
 // Package node assembles the library into a runnable service: a mempool,
 // a speculative parallel miner, a deterministic parallel validator and a
-// hash-linked chain behind a small JSON-over-HTTP API. It is the
-// "downstream user" layer: cmd/nodesrv serves it, and the tests drive a
-// miner node and a validator node end to end over HTTP.
+// hash-linked chain behind the versioned /v1 HTTP API of internal/api.
+// It is the "downstream user" layer: cmd/nodesrv serves it, and the tests
+// drive a miner node and a validator node end to end over HTTP.
 //
-// Endpoints:
+// Endpoints (see docs/API.md; legacy unversioned aliases remain for one
+// release):
 //
-//	POST /tx        {sender, contract, function, args, value, gasLimit}
-//	POST /mine      {blockSize}                 → mines one block from the pool
-//	POST /blocks    (gob block bytes)           → validate + append (validator nodes)
-//	GET  /blocks/N                              → gob block bytes
-//	GET  /head                                  → header summary JSON
-//	GET  /status                                → height, pool depth, stats
-//	GET  /snapshot                              → state checkpoint (snapshot fast-sync)
+//	POST /v1/tx            {sender, contract, function, args, value, gasLimit} → {id, poolLen}
+//	GET  /v1/tx/{id}       → receipt (pending | committed | aborted), durable blocks only
+//	POST /v1/mine          {blockSize}       → mines one block from the pool
+//	POST /v1/blocks        (gob block bytes) → validate + append (validator nodes)
+//	GET  /v1/blocks/N      → gob block bytes (durable blocks only)
+//	GET  /v1/head          → durable head summary JSON
+//	GET  /v1/status        → height, pool depth, stats, API metrics
+//	GET  /v1/state/{addr}  → account balance
+//	GET  /v1/snapshot      → state checkpoint (snapshot fast-sync)
+//	GET  /v1/subscribe     → SSE stream of durable blocks + receipts
 //
-// Transactions arrive as JSON with a small typed argument encoding (see
-// wireArg); blocks travel in the chain package's gob wire format so the
-// schedule metadata survives byte-exact.
+// Transactions arrive as JSON with a small typed argument encoding
+// (wire.Arg); blocks travel in the chain package's gob wire format so the
+// schedule metadata survives byte-exact. Every submitted transaction gets
+// a content-derived ID (wire.TxIDOf); its receipt — status, gas used,
+// abort reason, block coordinates, schedule position — becomes queryable
+// only once the containing block is durable, which is the crash rule
+// extended to the client API.
 //
 // With Config.DataDir set the node is durable: every appended block goes
 // to a write-ahead log before it becomes visible, state snapshots are
@@ -41,21 +49,17 @@
 package node
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net/http"
-	"strconv"
-	"strings"
+	"log"
 	"sync"
 	"sync/atomic"
 
+	"contractstm/internal/api"
+	"contractstm/internal/api/wire"
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
 	"contractstm/internal/engine"
-	"contractstm/internal/gas"
 	"contractstm/internal/miner"
 	"contractstm/internal/persist"
 	"contractstm/internal/pipeline"
@@ -98,6 +102,25 @@ type Config struct {
 	// DataDir), serially and in height order — the safe point to announce
 	// a block to peers. The hook must not call back into the node.
 	Publish func(chain.Block)
+	// DefaultBlockSize caps mined blocks when a mine request leaves the
+	// size unset (0 = api.DefaultBlockSize, 100).
+	DefaultBlockSize int
+	// DefaultGasLimit is assigned to submitted transactions that leave
+	// the gas limit unset (0 = api.DefaultGasLimit, 1e6).
+	DefaultGasLimit uint64
+	// MaxGasLimit rejects API-submitted transactions whose gas limit
+	// exceeds it (0 = api.DefaultMaxGasLimit, 1e8).
+	MaxGasLimit uint64
+	// MaxBodyBytes bounds JSON request bodies on the API
+	// (0 = api.DefaultMaxBodyBytes, 1 MiB).
+	MaxBodyBytes int64
+	// ReceiptCapacity bounds the in-memory receipt index
+	// (0 = api.DefaultReceiptCapacity).
+	ReceiptCapacity int
+	// ErrorLog receives node- and API-level serving faults that would
+	// otherwise be swallowed (response-encoding failures and the like).
+	// Nil logs to the standard logger.
+	ErrorLog func(error)
 }
 
 // Node is a single in-process blockchain node.
@@ -155,6 +178,16 @@ type Node struct {
 	// publish is the post-durability announce hook (Config.Publish;
 	// guarded by n.mu so SetPublish can install it after construction).
 	publish func(chain.Block)
+	// receipts indexes per-transaction execution results by content-
+	// derived ID; entries are recorded only once the containing block is
+	// durable (the crash rule extends to the client API). events fans
+	// durable blocks out to /v1/subscribe streams.
+	receipts *api.ReceiptStore
+	events   *api.Broker
+	// server is the /v1 API layer (built once; Handler returns it).
+	server *api.Server
+	// errLog is the serving-fault hook (Config.ErrorLog or std log).
+	errLog func(error)
 	// stats
 	minedBlocks     int
 	validatedBlocks int
@@ -207,6 +240,12 @@ func New(cfg Config) (*Node, error) {
 		policy:  cfg.SelectionPolicy,
 		eng:     eng,
 	}
+	n.errLog = cfg.ErrorLog
+	if n.errLog == nil {
+		n.errLog = func(err error) { log.Printf("node: %v", err) }
+	}
+	n.receipts = api.NewReceiptStore(cfg.ReceiptCapacity)
+	n.events = api.NewBroker()
 	if cfg.DataDir != "" {
 		if err := n.openDurable(cfg, root); err != nil {
 			// Release the directory lock a partially-opened log holds, or
@@ -225,6 +264,16 @@ func New(cfg Config) (*Node, error) {
 		}
 		n.prod = pipeline.New(cfg.PipelineDepth, n.abortPipeline)
 	}
+	n.server = api.NewServer(api.Config{
+		Backend:          n,
+		Receipts:         n.receipts,
+		Events:           n.events,
+		DefaultBlockSize: cfg.DefaultBlockSize,
+		DefaultGasLimit:  cfg.DefaultGasLimit,
+		MaxGasLimit:      cfg.MaxGasLimit,
+		MaxBodyBytes:     cfg.MaxBodyBytes,
+		ErrorLog:         n.errLog,
+	})
 	return n, nil
 }
 
@@ -343,6 +392,9 @@ func (n *Node) replayBlock(b chain.Block) error {
 		n.world.Restore(snap)
 		return err
 	}
+	// Replayed blocks are durable by definition — their receipts are
+	// queryable from the moment the node comes back up.
+	n.recordDurable(b)
 	return nil
 }
 
@@ -426,12 +478,39 @@ func (n *Node) Kill() {
 	}
 }
 
-// Submit queues a transaction.
-func (n *Node) Submit(call contract.Call) { n.pool.Submit(call) }
+// Submit queues a transaction and tracks it as pending in the receipt
+// index, so a client polling the content-derived ID reads "pending"
+// rather than "unknown" until the containing block is durable. The ID is
+// returned so serving layers derive it exactly once.
+func (n *Node) Submit(call contract.Call) types.Hash {
+	id := wire.TxIDOf(call)
+	n.receipts.MarkPending(id)
+	n.pool.Submit(call)
+	return id
+}
 
 // SubmitAll queues a batch of transactions atomically: no other
 // submitter's calls interleave inside the batch.
-func (n *Node) SubmitAll(calls []contract.Call) { n.pool.SubmitAll(calls) }
+func (n *Node) SubmitAll(calls []contract.Call) {
+	for _, c := range calls {
+		n.receipts.MarkPending(wire.TxIDOf(c))
+	}
+	n.pool.SubmitAll(calls)
+}
+
+// recordDurable indexes a durable block's receipts and fans the block
+// out to event-stream subscribers. It is called exactly at the points
+// where a block crosses the durability line: the synchronous mine path,
+// the pipelined durability verdict, foreign-block import, and WAL
+// recovery — never for a sealed-not-durable block, which a crash could
+// still void.
+func (n *Node) recordDurable(b chain.Block) {
+	recs := wire.ReceiptsOf(b)
+	for i, c := range b.Calls {
+		n.receipts.Record(wire.TxIDOf(c), recs[i])
+	}
+	n.events.Publish(wire.Event{Block: wire.BlockInfoOf(b), Receipts: recs})
+}
 
 // PoolLen reports queued transactions.
 func (n *Node) PoolLen() int { return n.pool.Len() }
@@ -504,6 +583,10 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 		n.pool.RequeueBatch(sel)
 		return chain.Block{}, fmt.Errorf("node: append: %w", err)
 	}
+	// Durable and appended: receipts become visible and the block goes to
+	// event-stream subscribers, before the peer publish hook so a peer
+	// notified of the block can immediately query its receipts here.
+	n.recordDurable(res.Block)
 	n.maybeSnapshot(1)
 	if publish := n.publishHook(); publish != nil {
 		publish(res.Block)
@@ -653,6 +736,10 @@ func (n *Node) entryDurable(e *inflightEntry, err error) {
 	publish := n.publish
 	n.mu.Unlock()
 	n.durableHeight.Store(e.block.Header.Number)
+	// The durability line: receipts for this block become queryable now,
+	// never at seal time — a crash between seal and this verdict voids
+	// the block, and served receipts must not outlive their block.
+	n.recordDurable(e.block)
 	if publish != nil {
 		publish(e.block)
 	}
@@ -828,6 +915,7 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 		n.world.Restore(snap)
 		return fmt.Errorf("node: append: %w", err)
 	}
+	n.recordDurable(b)
 	n.maybeSnapshot(1)
 	return nil
 }
@@ -1017,264 +1105,4 @@ func (n *Node) CurrentStatus() Status {
 		st.WalMaxGroup = m.MaxGroup
 	}
 	return st
-}
-
-// --- HTTP layer -----------------------------------------------------------
-
-// wireArg is the JSON encoding of one contract call argument.
-type wireArg struct {
-	// Type is one of "uint64", "int", "bool", "string", "address",
-	// "hash", "amount".
-	Type  string `json:"type"`
-	Value string `json:"value"`
-}
-
-func decodeArg(a wireArg) (any, error) {
-	switch a.Type {
-	case "uint64":
-		n, err := strconv.ParseUint(a.Value, 10, 64)
-		return n, err
-	case "int":
-		n, err := strconv.Atoi(a.Value)
-		return n, err
-	case "bool":
-		return a.Value == "true", nil
-	case "string":
-		return a.Value, nil
-	case "address":
-		return types.ParseAddress(a.Value)
-	case "hash":
-		return types.ParseHash(a.Value)
-	case "amount":
-		n, err := strconv.ParseUint(a.Value, 10, 64)
-		return types.Amount(n), err
-	default:
-		return nil, fmt.Errorf("unknown argument type %q", a.Type)
-	}
-}
-
-// EncodeArg renders a call argument for the wire (client helper).
-func EncodeArg(v any) (wire wireArg, err error) {
-	switch x := v.(type) {
-	case uint64:
-		return wireArg{Type: "uint64", Value: strconv.FormatUint(x, 10)}, nil
-	case int:
-		return wireArg{Type: "int", Value: strconv.Itoa(x)}, nil
-	case bool:
-		return wireArg{Type: "bool", Value: strconv.FormatBool(x)}, nil
-	case string:
-		return wireArg{Type: "string", Value: x}, nil
-	case types.Address:
-		return wireArg{Type: "address", Value: x.String()}, nil
-	case types.Hash:
-		return wireArg{Type: "hash", Value: x.String()}, nil
-	case types.Amount:
-		return wireArg{Type: "amount", Value: strconv.FormatUint(uint64(x), 10)}, nil
-	default:
-		return wireArg{}, fmt.Errorf("unsupported argument type %T", v)
-	}
-}
-
-// wireTx is the JSON encoding of a submitted transaction.
-type wireTx struct {
-	Sender   string    `json:"sender"`
-	Contract string    `json:"contract"`
-	Function string    `json:"function"`
-	Args     []wireArg `json:"args,omitempty"`
-	Value    uint64    `json:"value,omitempty"`
-	GasLimit uint64    `json:"gasLimit"`
-}
-
-// Handler returns the node's HTTP API.
-func (n *Node) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /tx", n.handleTx)
-	mux.HandleFunc("POST /mine", n.handleMine)
-	mux.HandleFunc("POST /blocks", n.handleAcceptBlock)
-	mux.HandleFunc("GET /blocks/{height}", n.handleGetBlock)
-	mux.HandleFunc("GET /head", n.handleHead)
-	mux.HandleFunc("GET /status", n.handleStatus)
-	mux.HandleFunc("GET /snapshot", n.handleSnapshot)
-	return mux
-}
-
-// writeJSON sends v as a JSON response. The Content-Type header must be
-// set before WriteHeader flushes the header block, so every JSON-speaking
-// handler funnels through here.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-func (n *Node) handleTx(w http.ResponseWriter, r *http.Request) {
-	var tx wireTx
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&tx); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	sender, err := types.ParseAddress(tx.Sender)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	target, err := types.ParseAddress(tx.Contract)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if strings.TrimSpace(tx.Function) == "" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing function"))
-		return
-	}
-	args := make([]any, 0, len(tx.Args))
-	for _, a := range tx.Args {
-		v, err := decodeArg(a)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		args = append(args, v)
-	}
-	limit := gas.Gas(tx.GasLimit)
-	if limit == 0 {
-		limit = 1_000_000
-	}
-	n.Submit(contract.Call{
-		Sender: sender, Contract: target, Function: tx.Function,
-		Args: args, Value: types.Amount(tx.Value), GasLimit: limit,
-	})
-	writeJSON(w, http.StatusAccepted, map[string]int{"poolLen": n.PoolLen()})
-}
-
-func (n *Node) handleMine(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		BlockSize int `json:"blockSize"`
-	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.BlockSize <= 0 {
-		req.BlockSize = 100
-	}
-	block, err := n.MineOne(req.BlockSize)
-	if err != nil {
-		httpError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, headerSummary(block))
-}
-
-func (n *Node) handleAcceptBlock(w http.ResponseWriter, r *http.Request) {
-	block, err := chain.DecodeBlock(io.LimitReader(r.Body, chain.MaxWireBlock))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := n.AcceptBlock(block); err != nil {
-		if errors.Is(err, ErrAlreadyKnown) {
-			// Idempotent import: re-gossiped blocks are fine.
-			summary := headerSummary(block)
-			summary["alreadyKnown"] = true
-			writeJSON(w, http.StatusOK, summary)
-			return
-		}
-		httpError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, headerSummary(block))
-}
-
-// servedHeight is the highest height the wire API exposes to peers: the
-// durable height on a durable pipelining node, the sealed head otherwise.
-// The crash rule covers the pull path too — GET /head and GET /blocks
-// must never hand out a sealed-not-durable block, or a syncing follower
-// could permanently hold a block the miner loses in a crash and fork.
-func (n *Node) servedHeight() uint64 {
-	if n.prod == nil || n.log == nil {
-		return n.Height()
-	}
-	return n.durableHeight.Load()
-}
-
-func (n *Node) handleGetBlock(w http.ResponseWriter, r *http.Request) {
-	height, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if height > n.servedHeight() {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no durable block at height %d", height))
-		return
-	}
-	block, ok := n.BlockAt(height)
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no block at height %d", height))
-		return
-	}
-	var buf bytes.Buffer
-	if err := chain.EncodeBlock(&buf, block); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(buf.Bytes())
-}
-
-func (n *Node) handleHead(w http.ResponseWriter, r *http.Request) {
-	// Serve the durable head, not the sealed one — see servedHeight. The
-	// sealed chain always holds its durable prefix, so the lookup cannot
-	// miss; a pruned chain's base is durable by construction.
-	if block, ok := n.BlockAt(n.servedHeight()); ok {
-		writeJSON(w, http.StatusOK, headerSummary(block))
-		return
-	}
-	writeJSON(w, http.StatusOK, headerSummary(n.Head()))
-}
-
-func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, n.CurrentStatus())
-}
-
-func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	// Durable nodes serve the cached framed bytes: the snapshot is
-	// immutable between writes, so per-request re-encoding would be
-	// pure waste on the fast-sync seeding path.
-	if n.log != nil {
-		if raw := n.log.LatestSnapshotWire(); raw != nil {
-			w.Header().Set("Content-Type", "application/octet-stream")
-			_, _ = w.Write(raw)
-			return
-		}
-	}
-	s, err := n.SnapshotNow()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	var buf bytes.Buffer
-	if err := persist.EncodeSnapshot(&buf, s); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(buf.Bytes())
-}
-
-// headerSummary is the JSON view of a block header plus body sizes.
-func headerSummary(b chain.Block) map[string]any {
-	return map[string]any{
-		"number":       b.Header.Number,
-		"hash":         b.Header.Hash().String(),
-		"parentHash":   b.Header.ParentHash.String(),
-		"stateRoot":    b.Header.StateRoot.String(),
-		"txCount":      len(b.Calls),
-		"edges":        len(b.Schedule.Edges),
-		"scheduleHash": b.Header.ScheduleHash.String(),
-	}
 }

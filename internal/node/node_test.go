@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
+	"contractstm/internal/api/wire"
 	"contractstm/internal/contract"
 	"contractstm/internal/contracts"
 	"contractstm/internal/gas"
@@ -144,16 +144,16 @@ func TestHTTPEndToEnd(t *testing.T) {
 
 	// Submit transfers over HTTP.
 	for i, from := range holders {
-		toArg, err := EncodeArg(holders[(i+1)%len(holders)])
+		toArg, err := wire.EncodeArg(holders[(i+1)%len(holders)])
 		if err != nil {
 			t.Fatalf("EncodeArg: %v", err)
 		}
-		amtArg, _ := EncodeArg(uint64(7))
-		resp, body := postJSON(t, minerURL+"/tx", wireTx{
+		amtArg, _ := wire.EncodeArg(uint64(7))
+		resp, body := postJSON(t, minerURL+"/tx", wire.TxSubmit{
 			Sender:   from.String(),
 			Contract: tokenAddr.String(),
 			Function: "transfer",
-			Args:     []wireArg{toArg, amtArg},
+			Args:     []wire.Arg{toArg, amtArg},
 			GasLimit: 100_000,
 		})
 		if resp.StatusCode != http.StatusAccepted {
@@ -215,7 +215,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GET status: %v", err)
 	}
-	var st Status
+	var st wire.Status
 	if err := json.NewDecoder(statusResp.Body).Decode(&st); err != nil {
 		t.Fatalf("status decode: %v", err)
 	}
@@ -233,13 +233,13 @@ func TestHTTPBadRequests(t *testing.T) {
 		name string
 		body any
 	}{
-		{"bad sender", wireTx{Sender: "nope", Contract: tokenAddr.String(), Function: "f"}},
-		{"bad contract", wireTx{Sender: issuer.String(), Contract: "zz", Function: "f"}},
-		{"missing function", wireTx{Sender: issuer.String(), Contract: tokenAddr.String()}},
-		{"bad arg type", wireTx{Sender: issuer.String(), Contract: tokenAddr.String(), Function: "f",
-			Args: []wireArg{{Type: "float", Value: "1"}}}},
-		{"bad arg value", wireTx{Sender: issuer.String(), Contract: tokenAddr.String(), Function: "f",
-			Args: []wireArg{{Type: "uint64", Value: "abc"}}}},
+		{"bad sender", wire.TxSubmit{Sender: "nope", Contract: tokenAddr.String(), Function: "f"}},
+		{"bad contract", wire.TxSubmit{Sender: issuer.String(), Contract: "zz", Function: "f"}},
+		{"missing function", wire.TxSubmit{Sender: issuer.String(), Contract: tokenAddr.String()}},
+		{"bad arg type", wire.TxSubmit{Sender: issuer.String(), Contract: tokenAddr.String(), Function: "f",
+			Args: []wire.Arg{{Type: "float", Value: "1"}}}},
+		{"bad arg value", wire.TxSubmit{Sender: issuer.String(), Contract: tokenAddr.String(), Function: "f",
+			Args: []wire.Arg{{Type: "uint64", Value: "abc"}}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -266,27 +266,6 @@ func TestHTTPBadRequests(t *testing.T) {
 	getResp.Body.Close()
 	if getResp.StatusCode != http.StatusNotFound {
 		t.Fatalf("missing block status = %d", getResp.StatusCode)
-	}
-}
-
-func TestArgRoundTrip(t *testing.T) {
-	vals := []any{uint64(7), int(3), true, "hello",
-		types.AddressFromUint64(1), types.HashString("h"), types.Amount(5)}
-	for _, v := range vals {
-		wire, err := EncodeArg(v)
-		if err != nil {
-			t.Fatalf("EncodeArg(%v): %v", v, err)
-		}
-		back, err := decodeArg(wire)
-		if err != nil {
-			t.Fatalf("decodeArg(%+v): %v", wire, err)
-		}
-		if fmt.Sprintf("%T:%v", back, back) != fmt.Sprintf("%T:%v", v, v) {
-			t.Fatalf("round trip %v -> %v", v, back)
-		}
-	}
-	if _, err := EncodeArg(3.14); err == nil {
-		t.Fatal("float arg encoded")
 	}
 }
 
@@ -334,11 +313,11 @@ func TestHTTPContentType(t *testing.T) {
 	}
 
 	// Success paths: submit, mine, head, status.
-	toArg, _ := EncodeArg(holders[1])
-	amtArg, _ := EncodeArg(uint64(1))
-	resp, _ := postJSON(t, url+"/tx", wireTx{
+	toArg, _ := wire.EncodeArg(holders[1])
+	amtArg, _ := wire.EncodeArg(uint64(1))
+	resp, _ := postJSON(t, url+"/tx", wire.TxSubmit{
 		Sender: holders[0].String(), Contract: tokenAddr.String(),
-		Function: "transfer", Args: []wireArg{toArg, amtArg}, GasLimit: 100_000,
+		Function: "transfer", Args: []wire.Arg{toArg, amtArg}, GasLimit: 100_000,
 	})
 	wantJSON(resp, "POST /tx")
 	resp, _ = postJSON(t, url+"/mine", map[string]int{"blockSize": 10})
@@ -352,7 +331,7 @@ func TestHTTPContentType(t *testing.T) {
 		wantJSON(getResp, "GET "+path)
 	}
 	// Error paths.
-	resp, _ = postJSON(t, url+"/tx", wireTx{Sender: "junk"})
+	resp, _ = postJSON(t, url+"/tx", wire.TxSubmit{Sender: "junk"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad tx status = %d", resp.StatusCode)
 	}
