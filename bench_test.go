@@ -52,6 +52,7 @@ func reportPoint(b *testing.B, m bench.Measurement) {
 
 func measurePoint(b *testing.B, p workload.Params, cfg bench.Config) bench.Measurement {
 	b.Helper()
+	b.ReportAllocs()
 	var m bench.Measurement
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -127,6 +128,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 // both sweeps, plus the paper's headline overall averages (paper: miner
 // 1.33x, validator 1.69x).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	sizes, conflicts := sweepSizes(b), sweepConflicts(b)
 	var table bench.Table1
 	for i := 0; i < b.N; i++ {
@@ -196,6 +198,7 @@ func BenchmarkAblationNoIncrementMode(b *testing.B) {
 	}{{"WithIncrementMode", false}, {"ExclusiveOnly", true}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var minerX, validatorX float64
 			for i := 0; i < b.N; i++ {
 				wl, err := workload.Generate(workload.Params{
@@ -246,6 +249,7 @@ func BenchmarkAblationCoarseLocks(b *testing.B) {
 	}{{"AbstractLocks", false}, {"RegionLocks", true}} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var minerX, validatorX float64
 			for i := 0; i < b.N; i++ {
 				wl, err := workload.Generate(workload.Params{
@@ -310,6 +314,7 @@ func BenchmarkValidatorThreadScaling(b *testing.B) {
 	for _, workers := range []int{1, 2, 3, 4, 6} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var speedup float64
 			for i := 0; i < b.N; i++ {
 				wl.Reset()

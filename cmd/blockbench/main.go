@@ -15,6 +15,7 @@
 //	blockbench -persist            # durability sweep: no persistence vs WAL (sync/nosync) vs WAL+snapshots
 //	blockbench -pipeline 4         # pipeline sweep: blocks/s at depths 1,2,4 under WAL-synced persistence
 //	blockbench -receipts           # receipt latency: submit → durable /v1 receipt, depths 1 and 4
+//	blockbench -slo                # hot-path SLO sweep; writes BENCH_hotpath.json for cmd/perfci
 //	blockbench -pipeline 2 -blocks 8  # short smoke: depths 1,2 over 8 blocks
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
@@ -78,12 +79,14 @@ func run() error {
 		pipelineF = flag.Int("pipeline", 0, "run the pipeline-depth sweep up to this depth (wall-clock, WAL-synced; 0 = off)")
 		receiptsF = flag.Bool("receipts", false, "run the receipt-latency sweep (wall-clock: submit → durable /v1 receipt per engine at pipeline depths 1 and 4)")
 		blocksF   = flag.Int("blocks", 0, "blocks per point for the pipeline sweep (0 = default 8)")
+		sloF      = flag.Bool("slo", false, "run the hot-path SLO sweep (wall-clock codec + engine metrics) and write the JSON artifact")
+		sloOut    = flag.String("slojson", "BENCH_hotpath.json", "output path for the -slo JSON artifact")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -126,6 +129,28 @@ func run() error {
 			narrowEngines, engNarrowLabel = []engine.Kind{engKind}, engKind.String()
 		}
 	})
+
+	if *sloF {
+		scfg := bench.SLOConfig{Workers: *workers}
+		report, err := bench.RunSLO(scfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteHotpathTable(os.Stdout, report)
+		f, err := os.Create(*sloOut)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *sloOut, err)
+		}
+		if err := bench.WriteHotpathJSON(f, report); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", *sloOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *sloOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *sloOut)
+		return nil
+	}
 
 	if *clusterF {
 		ccfg := bench.ClusterConfig{Workers: *workers, Engines: narrowEngines}

@@ -9,6 +9,7 @@
 //	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread|lockhint] [-engine serial|speculative|occ]
 //	        [-data DIR] [-sync-every 1] [-snap-every 256] [-pipeline 1]
 //	        [-max-gas 100000000] [-default-gas 1000000] [-blocksize 100]
+//	        [-pprof 127.0.0.1:6060]
 //
 // With -data the node is durable: blocks append to a write-ahead log
 // before becoming visible, state snapshots are written every -snap-every
@@ -44,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -80,6 +82,7 @@ func run() error {
 		maxGas     = flag.Uint64("max-gas", api.DefaultMaxGasLimit, "reject submitted transactions with a gas limit above this")
 		defaultGas = flag.Uint64("default-gas", api.DefaultGasLimit, "gas limit assigned to transactions that leave it unset")
 		blockSize  = flag.Int("blocksize", api.DefaultBlockSize, "default block size for mine requests that leave it unset")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -116,6 +119,26 @@ func run() error {
 			*dataDir, st.Height, st.RecoveredBlocks, st.PoolLen)
 	}
 	printDemoAddresses()
+
+	// Profiling stays off the public API listener: -pprof binds a separate
+	// (typically loopback-only) address so operators can capture profiles
+	// from a live node without exposing the debug surface to clients.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "nodesrv: pprof listener:", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		fmt.Printf("pprof listening on %s (side listener, keep it private)\n", *pprofAddr)
+	}
 
 	// Slow-client protection: bound header and request reads and reap
 	// idle keep-alive connections. WriteTimeout stays unset — the

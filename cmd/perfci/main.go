@@ -1,0 +1,78 @@
+// Command perfci compares a blockbench -slo artifact (BENCH_hotpath.json)
+// against the checked-in hot-path thresholds (bench/slo_thresholds.json).
+//
+// CI runs it in two modes:
+//
+//	perfci -bench BENCH_hotpath.json                    # informational (PRs):
+//	                                                    # report violations, exit 0
+//	perfci -bench BENCH_hotpath.json -enforce           # enforcing (main):
+//	                                                    # any violation exits 1
+//
+// Allocation limits are the hard guarantees — allocs/op is deterministic
+// for the fixed SLO workload — while the time-based floors and ratios carry
+// wide headroom for machine variance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contractstm/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perfci:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchPath  = flag.String("bench", "BENCH_hotpath.json", "hot-path report written by blockbench -slo")
+		thresholds = flag.String("thresholds", "bench/slo_thresholds.json", "threshold file to compare against")
+		enforce    = flag.Bool("enforce", false, "exit nonzero on any SLO violation (CI main-branch mode)")
+	)
+	flag.Parse()
+
+	report, err := readReport(*benchPath)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(*thresholds)
+	if err != nil {
+		return err
+	}
+	limits, err := bench.ReadSLOThresholds(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+
+	violations := bench.CheckSLO(report, limits)
+	fmt.Printf("perfci: %d checks against %s\n", len(limits.Checks), *thresholds)
+	bench.WriteHotpathTable(os.Stdout, report)
+	if len(violations) == 0 {
+		fmt.Println("\nall hot-path SLOs met")
+		return nil
+	}
+	fmt.Printf("\n%d SLO violation(s):\n", len(violations))
+	for _, v := range violations {
+		fmt.Println("  FAIL", v)
+	}
+	if *enforce {
+		os.Exit(1)
+	}
+	fmt.Println("(informational mode: not failing the build)")
+	return nil
+}
+
+func readReport(path string) (bench.HotpathReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return bench.HotpathReport{}, err
+	}
+	defer f.Close()
+	return bench.ReadHotpathReport(f)
+}

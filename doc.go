@@ -11,12 +11,15 @@
 // the paper.
 //
 // Layers, bottom up: types/crypto/gas (primitives and the cost model),
-// des/runtime (deterministic simulated time), stm/storage (abstract locks
+// codec (the flat binary wire format: stream headers, append/read
+// primitives, pooled encode buffers), des/runtime (deterministic simulated
+// time), stm/storage (abstract locks
 // and boosted objects), contract/contracts (execution environment and the
 // paper's benchmark contracts), sched/forkjoin (published schedules and
 // their deterministic replay), engine (pluggable block execution: serial,
 // speculative, OCC), miner/validator (seal and check blocks), chain (hash-
-// linked blocks and the wire codec), txpool (mempool and selection
+// linked blocks and their flat wire encoding, with a gob read-compatibility
+// fallback), txpool (mempool and selection
 // policies, including engine-feedback lock-hints), persist (block WAL,
 // group-commit writer, state snapshots, crash recovery), pipeline (the
 // staged block-production window: sealed vs durable, back-pressure,

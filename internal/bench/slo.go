@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"contractstm/internal/chain"
+	"contractstm/internal/engine"
+	"contractstm/internal/miner"
+	rt "contractstm/internal/runtime"
+	"contractstm/internal/types"
+	"contractstm/internal/workload"
+)
+
+func engineOptions(workers int) engine.Options {
+	return engine.Options{Workers: workers}
+}
+
+// mineOnce executes one block production run on the deterministic
+// simulated runtime; wall-clock time and allocations are what the SLO
+// sweep measures, the virtual makespan is ignored.
+func mineOnce(eng engine.Engine, wl *workload.Workload, parent chain.Header, opts engine.Options) (miner.Result, error) {
+	return miner.Mine(eng, rt.NewSimRunner(), wl.World, parent, wl.Calls, opts)
+}
+
+// mineRepresentative seals the block the codec metrics encode and decode.
+func mineRepresentative(p workload.Params, workers int) (chain.Block, error) {
+	wl, err := workload.Generate(p)
+	if err != nil {
+		return chain.Block{}, fmt.Errorf("bench: generate: %w", err)
+	}
+	eng, err := engine.New(engine.KindOCC)
+	if err != nil {
+		return chain.Block{}, fmt.Errorf("bench: %w", err)
+	}
+	parent := chain.GenesisHeader(types.HashString("slo-genesis"))
+	res, err := mineOnce(eng, wl, parent, engineOptions(workers))
+	if err != nil {
+		return chain.Block{}, fmt.Errorf("bench: representative block: %w", err)
+	}
+	return res.Block, nil
+}
+
+// SLOConfig tunes the hot-path SLO sweep. The defaults are what CI runs,
+// so changing them invalidates bench/slo_thresholds.json.
+type SLOConfig struct {
+	// BlockSize is the number of transactions in the representative block.
+	BlockSize int
+	// ConflictPercent is the representative block's contention level.
+	ConflictPercent int
+	// Workers is the engine pool size.
+	Workers int
+	// Seed fixes workload generation so every run measures the same block.
+	Seed int64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128
+	}
+	if c.ConflictPercent <= 0 {
+		c.ConflictPercent = 30
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// HotpathMetric is one measured hot-path operation.
+type HotpathMetric struct {
+	// Name identifies the operation, e.g. "codec/block/encode/flat" or
+	// "engine/occ/mine".
+	Name string `json:"name"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from the Go allocation counters.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// OpsPerSec is 1e9/NsPerOp — blocks/s for engine metrics.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// HotpathReport is the BENCH_hotpath.json artifact: the measured hot-path
+// metrics for one configuration, compared by cmd/perfci against
+// bench/slo_thresholds.json.
+type HotpathReport struct {
+	GoVersion       string          `json:"go_version"`
+	GOMAXPROCS      int             `json:"gomaxprocs"`
+	BlockSize       int             `json:"block_size"`
+	ConflictPercent int             `json:"conflict_percent"`
+	Workers         int             `json:"workers"`
+	WireBytesFlat   int             `json:"wire_bytes_flat"`
+	WireBytesGob    int             `json:"wire_bytes_gob"`
+	Metrics         []HotpathMetric `json:"metrics"`
+}
+
+// Metric returns the named metric, if present.
+func (r HotpathReport) Metric(name string) (HotpathMetric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return HotpathMetric{}, false
+}
+
+func metricOf(name string, br testing.BenchmarkResult) HotpathMetric {
+	m := HotpathMetric{
+		Name:        name,
+		NsPerOp:     float64(br.NsPerOp()),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if m.NsPerOp > 0 {
+		m.OpsPerSec = 1e9 / m.NsPerOp
+	}
+	return m
+}
+
+// RunSLO measures the allocation-sensitive hot paths this repo's perf lane
+// guards: block wire encode/decode under the flat codec and the legacy gob
+// codec, and end-to-end block production per engine. Timings use
+// testing.Benchmark, so each op count is auto-calibrated.
+func RunSLO(cfg SLOConfig) (HotpathReport, error) {
+	cfg = cfg.withDefaults()
+	report := HotpathReport{
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		BlockSize:       cfg.BlockSize,
+		ConflictPercent: cfg.ConflictPercent,
+		Workers:         cfg.Workers,
+	}
+
+	// One representative mined block for the codec measurements: realistic
+	// call/receipt/schedule/profile payloads rather than synthetic ones.
+	params := workload.Params{
+		Kind:            workload.KindMixed,
+		Transactions:    cfg.BlockSize,
+		ConflictPercent: cfg.ConflictPercent,
+		Seed:            cfg.Seed,
+	}
+	block, err := mineRepresentative(params, cfg.Workers)
+	if err != nil {
+		return HotpathReport{}, err
+	}
+
+	flat, err := chain.MarshalBlock(block)
+	if err != nil {
+		return HotpathReport{}, fmt.Errorf("bench: flat marshal: %w", err)
+	}
+	gobBytes, err := chain.MarshalBlockGob(block)
+	if err != nil {
+		return HotpathReport{}, fmt.Errorf("bench: gob marshal: %w", err)
+	}
+	report.WireBytesFlat = len(flat)
+	report.WireBytesGob = len(gobBytes)
+
+	codecBenches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"codec/block/encode/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = chain.AppendBlockWire(buf[:0], block)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"codec/block/decode/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chain.UnmarshalBlock(flat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"codec/block/encode/gob", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chain.MarshalBlockGob(block); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"codec/block/decode/gob", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chain.UnmarshalBlock(gobBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, cb := range codecBenches {
+		report.Metrics = append(report.Metrics, metricOf(cb.name, testing.Benchmark(cb.fn)))
+	}
+
+	// End-to-end block production per engine: generate-once, reset-and-mine
+	// per op, like the paper's protocol but timed in wall-clock terms.
+	for _, kind := range []engine.Kind{engine.KindSerial, engine.KindSpeculative, engine.KindOCC} {
+		kind := kind
+		eng, err := engine.New(kind)
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: %w", err)
+		}
+		wl, err := workload.Generate(params)
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: generate: %w", err)
+		}
+		parent := chain.GenesisHeader(types.HashString("slo-genesis"))
+		opts := engineOptions(cfg.Workers)
+		name := "engine/" + kind.String() + "/mine"
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				wl.Reset()
+				if _, err := mineOnce(eng, wl, parent, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Metrics = append(report.Metrics, metricOf(name, br))
+	}
+
+	sort.Slice(report.Metrics, func(i, j int) bool {
+		return report.Metrics[i].Name < report.Metrics[j].Name
+	})
+	return report, nil
+}
+
+// ReadHotpathReport decodes a BENCH_hotpath.json artifact.
+func ReadHotpathReport(r io.Reader) (HotpathReport, error) {
+	var report HotpathReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return HotpathReport{}, fmt.Errorf("bench: hotpath report: %w", err)
+	}
+	return report, nil
+}
+
+// WriteHotpathJSON writes the report as indented JSON (the CI artifact).
+func WriteHotpathJSON(w io.Writer, r HotpathReport) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteHotpathTable prints the report for humans.
+func WriteHotpathTable(w io.Writer, r HotpathReport) {
+	fmt.Fprintf(w, "hot-path SLO: block=%d conflict=%d%% workers=%d %s GOMAXPROCS=%d\n",
+		r.BlockSize, r.ConflictPercent, r.Workers, r.GoVersion, r.GOMAXPROCS)
+	fmt.Fprintf(w, "wire bytes: flat=%d gob=%d (%.2fx)\n\n",
+		r.WireBytesFlat, r.WireBytesGob, float64(r.WireBytesGob)/float64(max(r.WireBytesFlat, 1)))
+	fmt.Fprintf(w, "%-28s %14s %12s %12s %12s\n", "metric", "ns/op", "B/op", "allocs/op", "ops/s")
+	for _, m := range r.Metrics {
+		fmt.Fprintf(w, "%-28s %14.0f %12d %12d %12.1f\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.OpsPerSec)
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SLOCheck is one threshold from bench/slo_thresholds.json. Absent limits
+// are not checked, so entries state only what they guard. Allocation
+// limits are the strong ones — allocs/op is deterministic for a fixed
+// workload — while time-based limits (ratios, ops/s floors) carry wide
+// headroom because CI machines vary.
+type SLOCheck struct {
+	// Metric names the HotpathMetric under test.
+	Metric string `json:"metric"`
+	// Baseline, when set, names the metric the ns/op ratio is taken
+	// against (Metric.ns / Baseline.ns must stay <= MaxNsRatio).
+	Baseline   string   `json:"baseline,omitempty"`
+	MaxNsRatio *float64 `json:"max_ns_ratio,omitempty"`
+
+	MaxAllocsPerOp *int64   `json:"max_allocs_per_op,omitempty"`
+	MaxBytesPerOp  *int64   `json:"max_bytes_per_op,omitempty"`
+	MinOpsPerSec   *float64 `json:"min_ops_per_sec,omitempty"`
+}
+
+// SLOThresholds is the checked-in threshold file.
+type SLOThresholds struct {
+	Checks []SLOCheck `json:"checks"`
+}
+
+// ReadSLOThresholds decodes a threshold file, rejecting unknown fields so
+// a typo in a limit name fails loudly instead of silently not checking.
+func ReadSLOThresholds(r io.Reader) (SLOThresholds, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t SLOThresholds
+	if err := dec.Decode(&t); err != nil {
+		return SLOThresholds{}, fmt.Errorf("bench: thresholds: %w", err)
+	}
+	return t, nil
+}
+
+// CheckSLO evaluates every threshold against the report and returns one
+// human-readable violation per failed limit (empty = all SLOs met). A
+// missing metric or baseline is itself a violation: the artifact no longer
+// measures what the threshold guards.
+func CheckSLO(r HotpathReport, t SLOThresholds) []string {
+	var violations []string
+	for _, c := range t.Checks {
+		m, ok := r.Metric(c.Metric)
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: metric missing from report", c.Metric))
+			continue
+		}
+		if c.MaxAllocsPerOp != nil && m.AllocsPerOp > *c.MaxAllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op exceeds limit %d", c.Metric, m.AllocsPerOp, *c.MaxAllocsPerOp))
+		}
+		if c.MaxBytesPerOp != nil && m.BytesPerOp > *c.MaxBytesPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d B/op exceeds limit %d", c.Metric, m.BytesPerOp, *c.MaxBytesPerOp))
+		}
+		if c.MinOpsPerSec != nil && m.OpsPerSec < *c.MinOpsPerSec {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.1f ops/s below floor %.1f", c.Metric, m.OpsPerSec, *c.MinOpsPerSec))
+		}
+		if c.MaxNsRatio != nil {
+			base, ok := r.Metric(c.Baseline)
+			if !ok {
+				violations = append(violations, fmt.Sprintf(
+					"%s: baseline %q missing from report", c.Metric, c.Baseline))
+				continue
+			}
+			if base.NsPerOp <= 0 {
+				continue
+			}
+			if ratio := m.NsPerOp / base.NsPerOp; ratio > *c.MaxNsRatio {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.3fx the time of %s, limit %.3fx", c.Metric, ratio, c.Baseline, *c.MaxNsRatio))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64     { return &v }
+func f64(v float64) *float64 { return &v }
+
+func sampleReport() HotpathReport {
+	return HotpathReport{
+		Metrics: []HotpathMetric{
+			{Name: "codec/block/encode/flat", NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0, OpsPerSec: 1e7},
+			{Name: "codec/block/encode/gob", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 60, OpsPerSec: 1e6},
+		},
+	}
+}
+
+func TestCheckSLOPasses(t *testing.T) {
+	th := SLOThresholds{Checks: []SLOCheck{
+		{Metric: "codec/block/encode/flat", MaxAllocsPerOp: i64(4), MaxBytesPerOp: i64(64)},
+		{Metric: "codec/block/encode/flat", Baseline: "codec/block/encode/gob", MaxNsRatio: f64(0.5)},
+		{Metric: "codec/block/encode/gob", MinOpsPerSec: f64(10)},
+	}}
+	if v := CheckSLO(sampleReport(), th); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckSLOViolations(t *testing.T) {
+	th := SLOThresholds{Checks: []SLOCheck{
+		{Metric: "codec/block/encode/gob", MaxAllocsPerOp: i64(10)},
+		{Metric: "codec/block/encode/gob", MaxBytesPerOp: i64(100)},
+		{Metric: "codec/block/encode/gob", MinOpsPerSec: f64(1e9)},
+		{Metric: "codec/block/encode/gob", Baseline: "codec/block/encode/flat", MaxNsRatio: f64(2)},
+		{Metric: "no/such/metric", MaxAllocsPerOp: i64(1)},
+		{Metric: "codec/block/encode/flat", Baseline: "no/such/base", MaxNsRatio: f64(1)},
+	}}
+	v := CheckSLO(sampleReport(), th)
+	if len(v) != 6 {
+		t.Fatalf("got %d violations, want 6: %v", len(v), v)
+	}
+	for _, want := range []string{"allocs/op", "B/op", "below floor", "the time of", "metric missing", "baseline"} {
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no violation mentions %q: %v", want, v)
+		}
+	}
+}
+
+// TestThresholdFileMatchesSweep pins the contract between the checked-in
+// threshold file and RunSLO: it must parse, and every metric it names must
+// be one the sweep emits (otherwise CI silently guards nothing).
+func TestThresholdFileMatchesSweep(t *testing.T) {
+	f, err := os.Open("../../bench/slo_thresholds.json")
+	if err != nil {
+		t.Fatalf("open thresholds: %v", err)
+	}
+	defer f.Close()
+	th, err := ReadSLOThresholds(f)
+	if err != nil {
+		t.Fatalf("parse thresholds: %v", err)
+	}
+	if len(th.Checks) == 0 {
+		t.Fatal("threshold file has no checks")
+	}
+	emitted := map[string]bool{
+		"codec/block/encode/flat": true,
+		"codec/block/decode/flat": true,
+		"codec/block/encode/gob":  true,
+		"codec/block/decode/gob":  true,
+		"engine/serial/mine":      true,
+		"engine/speculative/mine": true,
+		"engine/occ/mine":         true,
+	}
+	for _, c := range th.Checks {
+		if !emitted[c.Metric] {
+			t.Errorf("threshold names unknown metric %q", c.Metric)
+		}
+		if c.Baseline != "" && !emitted[c.Baseline] {
+			t.Errorf("threshold baseline %q is not an emitted metric", c.Baseline)
+		}
+		if c.MaxNsRatio != nil && c.Baseline == "" {
+			t.Errorf("check for %q sets max_ns_ratio without a baseline", c.Metric)
+		}
+	}
+}
+
+func TestReadSLOThresholdsRejectsUnknownFields(t *testing.T) {
+	bad := `{"checks":[{"metric":"m","max_alocs_per_op":3}]}`
+	if _, err := ReadSLOThresholds(strings.NewReader(bad)); err == nil {
+		t.Fatal("typoed limit name parsed without error")
+	}
+}
+
+func TestHotpathReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	r.GoVersion, r.BlockSize = "go-test", 128
+	var buf bytes.Buffer
+	if err := WriteHotpathJSON(&buf, r); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadHotpathReport(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.GoVersion != r.GoVersion || got.BlockSize != r.BlockSize || len(got.Metrics) != len(r.Metrics) {
+		t.Fatal("report changed across JSON round trip")
+	}
+	if m, ok := got.Metric("codec/block/encode/gob"); !ok || m.AllocsPerOp != 60 {
+		t.Fatal("metric lookup after round trip failed")
+	}
+}

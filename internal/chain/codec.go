@@ -2,25 +2,32 @@ package chain
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 
+	"contractstm/internal/codec"
 	"contractstm/internal/types"
 )
 
-// Wire serialization for blocks: gob-based, suitable for persistence and
-// for shipping blocks between nodes. Contract call arguments are `any`
-// values; the concrete argument types contracts accept are registered
-// here so gob can round-trip them.
+// Wire serialization for blocks, suitable for persistence and for
+// shipping blocks between nodes. The default format is the flat binary
+// codec (flat.go, internal/codec): length-prefixed little-endian fields,
+// no reflection, single-buffer encodes. Streams produced by the previous
+// release's gob codec are still decoded — the first payload byte
+// distinguishes the formats unambiguously (see internal/codec) — but
+// nothing encodes gob anymore; the fallback lasts one release so old data
+// directories and peers recover cleanly.
 //
 // Integrity is independent of encoding: after decoding, callers verify
 // header commitments (VerifyCommitments) and re-validate execution, so a
 // corrupted or malicious stream can at worst produce a block that is then
 // rejected.
 
-// wireVersion guards against decoding blocks from incompatible builds.
+// wireVersion guards against decoding legacy gob blocks from
+// incompatible builds.
 const wireVersion uint32 = 1
 
 // MaxWireBlock bounds one block's wire encoding; the node's block upload
@@ -55,7 +62,7 @@ func (c *cappedReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// wireBlock is the on-the-wire envelope.
+// wireBlock is the legacy gob envelope.
 type wireBlock struct {
 	Version uint32
 	Block   Block
@@ -63,14 +70,48 @@ type wireBlock struct {
 
 func registerWireTypes() { types.RegisterWireValues() }
 
-// EncodeBlock writes b to w in wire format.
+// EncodeBlock writes b to w in wire format (flat codec).
 func EncodeBlock(w io.Writer, b Block) error {
-	registerWireTypes()
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(wireBlock{Version: wireVersion, Block: b}); err != nil {
+	buf := codec.GetBuffer()
+	defer buf.Release()
+	enc, err := AppendBlockWire(buf.B, b)
+	if err != nil {
+		return err
+	}
+	buf.B = enc
+	if _, err := w.Write(enc); err != nil {
 		return fmt.Errorf("chain: encode block %d: %w", b.Header.Number, err)
 	}
 	return nil
+}
+
+// MarshalBlock renders b as bytes. The encode lands in a pooled scratch
+// buffer and is copied out exactly once at its final size, so the append
+// path never reallocates mid-encode.
+func MarshalBlock(b Block) ([]byte, error) {
+	buf := codec.GetBuffer()
+	defer buf.Release()
+	enc, err := AppendBlockWire(buf.B, b)
+	if err != nil {
+		return nil, err
+	}
+	buf.B = enc
+	out := make([]byte, len(enc))
+	copy(out, enc)
+	return out, nil
+}
+
+// MarshalBlockGob renders b in the legacy gob wire format. Retained only
+// for the one-release read-compatibility window: migration tests use it
+// to fabricate gob-era data directories and peers; nothing on the live
+// write path calls it.
+func MarshalBlockGob(b Block) ([]byte, error) {
+	registerWireTypes()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireBlock{Version: wireVersion, Block: b}); err != nil {
+		return nil, fmt.Errorf("chain: encode block %d: %w", b.Header.Number, err)
+	}
+	return buf.Bytes(), nil
 }
 
 // DecodeBlock reads one block from r and verifies its header commitments
@@ -78,7 +119,8 @@ func EncodeBlock(w io.Writer, b Block) error {
 // validator's job). Input is untrusted: the stream is size-capped at
 // MaxWireBlock, and any malformed input — truncated, version-skewed,
 // corrupted — returns an error, never panics. The persistence WAL feeds
-// disk bytes straight into this path on crash recovery.
+// disk bytes straight into this path on crash recovery. The first byte
+// selects the format: flat (current) or gob (previous release).
 func DecodeBlock(r io.Reader) (Block, error) {
 	return decodeBlockCapped(r, MaxWireBlock)
 }
@@ -86,65 +128,166 @@ func DecodeBlock(r io.Reader) (Block, error) {
 // decodeBlockCapped is DecodeBlock with an explicit byte budget (tests
 // exercise the budget without building a 64 MB block).
 func decodeBlockCapped(r io.Reader, budget int64) (Block, error) {
-	registerWireTypes()
 	cr := &cappedReader{r: r, remaining: budget}
-	dec := gob.NewDecoder(cr)
+	var first [1]byte
+	if _, err := io.ReadFull(cr, first[:]); err != nil {
+		return Block{}, fmt.Errorf("chain: decode block: %w", err)
+	}
+
+	if codec.IsFlat(first[0]) {
+		var hdr [codec.HeaderLen]byte
+		hdr[0] = first[0]
+		if _, err := io.ReadFull(cr, hdr[1:]); err != nil {
+			return Block{}, fmt.Errorf("chain: decode block header: %w", err)
+		}
+		bodyLen := int64(binary.LittleEndian.Uint32(hdr[3:codec.HeaderLen]))
+		total := int64(codec.HeaderLen) + bodyLen
+		if total > budget {
+			return Block{}, fmt.Errorf("chain: decode block: %d-byte block exceeds %d-byte cap: %w",
+				total, budget, ErrTooLarge)
+		}
+		payload := make([]byte, total)
+		copy(payload, hdr[:])
+		if _, err := io.ReadFull(cr, payload[codec.HeaderLen:]); err != nil {
+			return Block{}, fmt.Errorf("chain: decode block body: %w", err)
+		}
+		b, err := decodeFlatBlock(payload)
+		if err != nil {
+			return Block{}, fmt.Errorf("chain: decode block: %w", err)
+		}
+		return verifyDecoded(b)
+	}
+
+	// Legacy gob stream from the previous release.
+	registerWireTypes()
+	dec := gob.NewDecoder(io.MultiReader(bytes.NewReader(first[:]), cr))
 	var wb wireBlock
 	if err := dec.Decode(&wb); err != nil {
 		if cr.remaining <= 0 {
-			return Block{}, fmt.Errorf("chain: decode block: %w", ErrTooLarge)
+			return Block{}, fmt.Errorf("chain: decode block: stream still undecoded after %d bytes (cap %d): %w",
+				budget-cr.remaining, budget, ErrTooLarge)
 		}
 		return Block{}, fmt.Errorf("chain: decode block: %w", err)
 	}
 	if wb.Version != wireVersion {
 		return Block{}, fmt.Errorf("chain: wire version %d, want %d", wb.Version, wireVersion)
 	}
-	if err := VerifyCommitments(wb.Block); err != nil {
+	return verifyDecoded(wb.Block)
+}
+
+func verifyDecoded(b Block) (Block, error) {
+	if err := VerifyCommitments(b); err != nil {
 		return Block{}, fmt.Errorf("chain: decoded block fails commitments: %w", err)
 	}
-	return wb.Block, nil
+	return b, nil
 }
 
-// MarshalBlock renders b as bytes (EncodeBlock into a buffer).
-func MarshalBlock(b Block) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := EncodeBlock(&buf, b); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// UnmarshalBlock parses bytes produced by MarshalBlock.
+// UnmarshalBlock parses bytes produced by MarshalBlock (or, for one
+// release, the legacy gob MarshalBlock), sniffing the format from the
+// first byte.
 func UnmarshalBlock(data []byte) (Block, error) {
+	if int64(len(data)) > MaxWireBlock {
+		return Block{}, fmt.Errorf("chain: decode block: %d-byte block exceeds %d-byte cap: %w",
+			len(data), int64(MaxWireBlock), ErrTooLarge)
+	}
+	if len(data) > 0 && codec.IsFlat(data[0]) {
+		b, err := decodeFlatBlock(data)
+		if err != nil {
+			return Block{}, fmt.Errorf("chain: decode block: %w", err)
+		}
+		return verifyDecoded(b)
+	}
 	return DecodeBlock(bytes.NewReader(data))
 }
 
-// EncodeChain writes every block of c (including genesis) to w.
+// EncodeChain writes every block of c (including genesis) to w as one
+// flat stream: a chain-kind codec header whose body is a block count
+// followed by each block's self-delimiting wire encoding.
 func (c *Chain) EncodeChain(w io.Writer) error {
 	c.mu.Lock()
 	blocks := make([]Block, len(c.blocks))
 	copy(blocks, c.blocks)
 	c.mu.Unlock()
 
-	registerWireTypes()
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(wireVersion); err != nil {
-		return fmt.Errorf("chain: encode version: %w", err)
-	}
-	if err := enc.Encode(len(blocks)); err != nil {
-		return fmt.Errorf("chain: encode length: %w", err)
-	}
+	buf := codec.GetBuffer()
+	defer buf.Release()
+	dst, start := codec.AppendHeader(buf.B, codec.KindChain)
+	dst = codec.AppendU32(dst, uint32(len(blocks)))
+	var err error
 	for _, b := range blocks {
-		if err := enc.Encode(b); err != nil {
-			return fmt.Errorf("chain: encode block %d: %w", b.Header.Number, err)
+		if dst, err = AppendBlockWire(dst, b); err != nil {
+			return err
 		}
+	}
+	codec.FinishHeader(dst, start)
+	buf.B = dst
+	if _, err := w.Write(dst); err != nil {
+		return fmt.Errorf("chain: encode chain: %w", err)
 	}
 	return nil
 }
 
-// DecodeChain reconstructs a chain from w's stream, re-verifying linkage
-// and commitments block by block.
+// DecodeChain reconstructs a chain from r's stream, re-verifying linkage
+// and commitments block by block. Legacy gob chain streams decode via
+// the same first-byte sniff as blocks.
 func DecodeChain(r io.Reader) (*Chain, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, fmt.Errorf("chain: decode chain: %w", err)
+	}
+	if !codec.IsFlat(first[0]) {
+		return decodeChainGob(io.MultiReader(bytes.NewReader(first[:]), r))
+	}
+	var hdr [codec.HeaderLen]byte
+	hdr[0] = first[0]
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("chain: decode chain header: %w", err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(hdr[3:codec.HeaderLen]))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("chain: decode chain body: %w", err)
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("chain: decode chain: %w", codec.ErrTruncated)
+	}
+	n := int(binary.LittleEndian.Uint32(body[:4]))
+	if n < 1 {
+		return nil, fmt.Errorf("chain: stream has %d blocks, need at least genesis", n)
+	}
+	rest := body[4:]
+	var c *Chain
+	for i := 0; i < n; i++ {
+		if len(rest) < codec.HeaderLen {
+			return nil, fmt.Errorf("chain: decode block %d: %w", i, codec.ErrTruncated)
+		}
+		total := codec.HeaderLen + int(binary.LittleEndian.Uint32(rest[3:codec.HeaderLen]))
+		if total > len(rest) || total > MaxWireBlock {
+			return nil, fmt.Errorf("chain: decode block %d: %w", i, codec.ErrTruncated)
+		}
+		b, err := decodeFlatBlock(rest[:total])
+		if err != nil {
+			return nil, fmt.Errorf("chain: decode block %d: %w", i, err)
+		}
+		rest = rest[total:]
+		if i == 0 {
+			if b.Header.Number != 0 {
+				return nil, fmt.Errorf("chain: first block has height %d, want 0", b.Header.Number)
+			}
+			c = New(b.Header.StateRoot)
+			continue
+		}
+		if err := c.Append(b); err != nil {
+			return nil, fmt.Errorf("chain: replaying block %d: %w", i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("chain: decode chain: %d trailing bytes: %w", len(rest), codec.ErrFormat)
+	}
+	return c, nil
+}
+
+// decodeChainGob decodes the previous release's gob chain stream.
+func decodeChainGob(r io.Reader) (*Chain, error) {
 	registerWireTypes()
 	dec := gob.NewDecoder(r)
 	var version uint32

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"contractstm/internal/codec"
 	"contractstm/internal/types"
 )
 
@@ -107,17 +108,55 @@ func TestDecodeChainRejectsBrokenLinkage(t *testing.T) {
 	if err := c.Append(b); err != nil {
 		t.Fatalf("append: %v", err)
 	}
+	// Break the linkage without touching the block's own commitments:
+	// ParentHash is not covered by VerifyCommitments, so only the chain's
+	// linkage check can catch it.
+	tampered := b
+	tampered.Header.ParentHash = types.HashString("somewhere else")
+	genesis, _ := c.BlockAt(0)
+	data := encodeChainBlocks(t, genesis.Header, tampered)
+	if _, err := DecodeChain(bytes.NewReader(data)); err == nil {
+		t.Fatal("chain stream with broken linkage decoded without error")
+	}
+
+	// Bit flips anywhere in the stream must never panic; whatever decodes
+	// must preserve every verifiable invariant (a flip in a state root is
+	// the validator's to catch, like in TestDecodeBlockBitFlips).
 	var buf bytes.Buffer
 	if err := c.EncodeChain(&buf); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	// Corrupt a byte in the middle of the stream; either gob or the
-	// linkage/commitment checks must reject it.
-	data := buf.Bytes()
-	data[len(data)/2] ^= 0xff
-	if _, err := DecodeChain(bytes.NewReader(data)); err == nil {
-		t.Fatal("corrupted chain stream decoded without error")
+	good := buf.Bytes()
+	step := len(good)/61 + 1
+	for i := 0; i < len(good); i += step {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x41
+		if got, err := DecodeChain(bytes.NewReader(mut)); err == nil {
+			if verr := VerifyCommitments(got.Head()); verr != nil {
+				t.Fatalf("flip at %d decoded a chain whose head fails commitments: %v", i, verr)
+			}
+		}
 	}
+}
+
+// encodeChainBlocks hand-builds a flat chain stream from a genesis header
+// and follow-on blocks, bypassing Chain.Append's checks so tests can
+// construct invalid streams.
+func encodeChainBlocks(t *testing.T, genesis Header, blocks ...Block) []byte {
+	t.Helper()
+	dst, start := codec.AppendHeader(nil, codec.KindChain)
+	dst = codec.AppendU32(dst, uint32(1+len(blocks)))
+	var err error
+	if dst, err = AppendBlockWire(dst, Block{Header: genesis}); err != nil {
+		t.Fatalf("encode genesis: %v", err)
+	}
+	for _, b := range blocks {
+		if dst, err = AppendBlockWire(dst, b); err != nil {
+			t.Fatalf("encode block: %v", err)
+		}
+	}
+	codec.FinishHeader(dst, start)
+	return dst
 }
 
 func TestDecodeChainRejectsEmptyStream(t *testing.T) {

@@ -62,6 +62,11 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 	for i := 0; i < n; i++ {
 		pending = append(pending, i)
 	}
+	// Round-scoped scratch, hoisted so every round after the first reuses
+	// the same storage: the deferred-id buffer (swapped with pending each
+	// round) and the committed read/write-set map (cleared in place).
+	deferred := make([]int, 0, n)
+	committed := make(map[stm.LockID]stm.Mode)
 
 	var stats Stats
 	var makespan uint64
@@ -94,11 +99,14 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 				// The OCC regime never blocks, so it can never deadlock.
 				return fmt.Errorf("engine: occ execution of %s demanded retry: %s", id, out.Reason)
 			}
+			// A deferred transaction's prior attempt was discarded in the
+			// commit phase, so its trace storage is free to reuse here.
 			attempts[i] = occAttempt{
 				receipt: contract.ReceiptFor(id, out),
-				trace:   tx.TraceResult(),
+				trace:   tx.TraceResultInto(attempts[i].trace.Entries),
 				writes:  tx.PendingWrites(),
 			}
+			tx.Recycle()
 			return nil
 		})
 		if err != nil {
@@ -109,9 +117,9 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 		// Validate-and-commit phase: deterministic, in block order, on a
 		// single thread (the paper-style sequential commit point; its cost
 		// is charged to the makespan like every other phase).
-		var deferred []int
+		deferred = deferred[:0]
 		commitSpan, err := runner.Run(1, func(th runtime.Thread) {
-			committed := make(map[stm.LockID]stm.Mode)
+			clear(committed)
 			for _, i := range round {
 				tr := attempts[i].trace
 				th.Work(costs.OCCValidate * gas.Gas(len(tr.Entries)+1))
@@ -126,6 +134,12 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 					deferred = append(deferred, i)
 					retried[i] = true
 					stats.Retries++
+					// The attempt is discarded; recycle its overlay now so
+					// next round's re-execution draws from the pool.
+					if wr := attempts[i].writes; wr != nil {
+						attempts[i].writes = nil
+						wr.Release()
+					}
 					continue
 				}
 				for _, e := range tr.Entries {
@@ -135,9 +149,13 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 						committed[e.Lock] = e.Mode
 					}
 				}
-				if wr := attempts[i].writes; wr != nil && wr.Len() > 0 {
-					th.Work(costs.OCCValidate * gas.Gas(wr.Len()))
-					wr.Apply()
+				if wr := attempts[i].writes; wr != nil {
+					if wr.Len() > 0 {
+						th.Work(costs.OCCValidate * gas.Gas(wr.Len()))
+						wr.Apply()
+					}
+					attempts[i].writes = nil
+					wr.Release()
 				}
 				commitOrder = append(commitOrder, i)
 			}
@@ -146,7 +164,9 @@ func (OCCEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls []
 			return Result{}, fmt.Errorf("engine: occ commit round %d: %w", stats.Rounds, err)
 		}
 		makespan += commitSpan
-		pending = deferred
+		// Double-buffer the pending/deferred id slices: round aliases the
+		// buffer we are about to refill, so swap rather than re-slice.
+		pending, deferred = deferred, pending
 	}
 
 	receipts := make([]contract.Receipt, n)

@@ -46,6 +46,7 @@ func Replay(runner runtime.Runner, w *contract.World, calls []contract.Call, pla
 				out := contract.Execute(w, tx, call)
 				receipts[i] = contract.ReceiptFor(id, out)
 				traces[i] = tx.TraceResult()
+				tx.Recycle()
 			},
 		}
 	}

@@ -35,7 +35,7 @@ func (SerialEngine) ExecuteBlock(runner runtime.Runner, w *contract.World, calls
 	}
 	traces := make([]stm.Trace, n)
 	receipts, makespan, err := runSerialLoop(runner, w, calls, commitOrder, stm.BeginReplay,
-		func(i int, tx *stm.Tx) { traces[i] = tx.TraceResult() })
+		func(i int, tx *stm.Tx) { traces[i] = tx.TraceResult(); tx.Recycle() })
 	if err != nil {
 		return Result{}, err
 	}

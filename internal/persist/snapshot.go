@@ -11,6 +11,8 @@ import (
 	"sort"
 
 	"contractstm/internal/chain"
+	"contractstm/internal/codec"
+	"contractstm/internal/types"
 )
 
 // Snapshot is one durable state checkpoint: the block header at the
@@ -28,8 +30,8 @@ type Snapshot struct {
 // Height returns the checkpoint height.
 func (s Snapshot) Height() uint64 { return s.Header.Number }
 
-// snapshotVersion guards against decoding snapshots from incompatible
-// builds.
+// snapshotVersion guards against decoding legacy gob snapshots from
+// incompatible builds.
 const snapshotVersion uint32 = 1
 
 // MaxSnapshotBytes bounds one snapshot's framed payload.
@@ -41,7 +43,8 @@ const MaxSnapshotBytes = 1 << 30
 // torn.
 const MaxSnapshotWire = MaxSnapshotBytes + frameHeaderLen
 
-// wireSnapshot is the on-disk / on-the-wire envelope.
+// wireSnapshot is the legacy gob envelope, decoded for one release so
+// gob-era snapshot files and fast-sync peers stay readable.
 type wireSnapshot struct {
 	Version uint32
 	Header  chain.Header
@@ -49,29 +52,52 @@ type wireSnapshot struct {
 }
 
 // EncodeSnapshot writes s to w as a single framed record (the same
-// length+CRC frame as WAL records).
+// length+CRC frame as WAL records). The payload is the flat codec's
+// snapshot stream: codec header, then the block header's flat fields,
+// then the length-prefixed opaque state bytes (the storage layer's own
+// encoding, which the envelope never interprets).
 func EncodeSnapshot(w io.Writer, s Snapshot) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(wireSnapshot{
-		Version: snapshotVersion, Header: s.Header, State: s.State,
-	}); err != nil {
-		return fmt.Errorf("persist: encode snapshot %d: %w", s.Height(), err)
+	buf := codec.GetBuffer()
+	defer buf.Release()
+	dst, start := codec.AppendHeader(buf.B, codec.KindSnapshot)
+	dst = appendSnapshotBody(dst, s)
+	codec.FinishHeader(dst, start)
+	buf.B = dst
+	if len(dst) > MaxSnapshotBytes {
+		return fmt.Errorf("persist: snapshot %d encodes to %d bytes (max %d)", s.Height(), len(dst), MaxSnapshotBytes)
 	}
-	if buf.Len() > MaxSnapshotBytes {
-		return fmt.Errorf("persist: snapshot %d encodes to %d bytes (max %d)", s.Height(), buf.Len(), MaxSnapshotBytes)
-	}
-	if err := writeFrame(w, buf.Bytes()); err != nil {
+	if err := writeFrame(w, dst); err != nil {
 		return fmt.Errorf("persist: write snapshot %d: %w", s.Height(), err)
 	}
 	return nil
 }
 
+func appendSnapshotBody(dst []byte, s Snapshot) []byte {
+	h := s.Header
+	dst = codec.AppendU64(dst, h.Number)
+	dst = append(dst, h.ParentHash[:]...)
+	dst = append(dst, h.TxRoot[:]...)
+	dst = append(dst, h.ReceiptRoot[:]...)
+	dst = append(dst, h.StateRoot[:]...)
+	dst = append(dst, h.ScheduleHash[:]...)
+	return codec.AppendBytes(dst, s.State)
+}
+
 // DecodeSnapshot reads one framed snapshot from r, verifying the frame
-// CRC and version. Input is untrusted (disk bytes, or a fast-sync peer).
+// CRC and parsing the payload — flat by default, legacy gob when the
+// first payload byte says so. Input is untrusted (disk bytes, or a
+// fast-sync peer).
 func DecodeSnapshot(r io.Reader) (Snapshot, error) {
 	payload, err := readFrame(r, MaxSnapshotBytes)
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	if codec.IsFlat(payload[0]) {
+		s, err := decodeFlatSnapshot(payload)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("persist: decode snapshot: %w", err)
+		}
+		return s, nil
 	}
 	var ws wireSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ws); err != nil {
@@ -81,6 +107,47 @@ func DecodeSnapshot(r io.Reader) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("persist: snapshot version %d, want %d", ws.Version, snapshotVersion)
 	}
 	return Snapshot{Header: ws.Header, State: ws.State}, nil
+}
+
+func decodeFlatSnapshot(payload []byte) (Snapshot, error) {
+	body, err := codec.ParseHeader(payload, codec.KindSnapshot)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	r := codec.NewReader(body)
+	var s Snapshot
+	if s.Header.Number, err = r.U64(); err != nil {
+		return Snapshot{}, err
+	}
+	for _, dst := range []*types.Hash{
+		&s.Header.ParentHash, &s.Header.TxRoot, &s.Header.ReceiptRoot,
+		&s.Header.StateRoot, &s.Header.ScheduleHash,
+	} {
+		raw, err := r.Take(types.HashLen)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		copy(dst[:], raw)
+	}
+	if s.State, err = r.Bytes(); err != nil {
+		return Snapshot{}, err
+	}
+	if err := r.Done(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}
+
+// encodeSnapshotGob writes s in the legacy gob wire format; retained for
+// migration tests that fabricate gob-era data directories.
+func encodeSnapshotGob(w io.Writer, s Snapshot) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireSnapshot{
+		Version: snapshotVersion, Header: s.Header, State: s.State,
+	}); err != nil {
+		return fmt.Errorf("persist: encode snapshot %d: %w", s.Height(), err)
+	}
+	return writeFrame(w, buf.Bytes())
 }
 
 func snapshotName(height uint64) string { return fmt.Sprintf("snap-%016d.snap", height) }

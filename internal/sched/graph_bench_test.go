@@ -16,6 +16,7 @@ import (
 func BenchmarkAddEdgeHotSpot(b *testing.B) {
 	for _, n := range []int{100, 400, 1600} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g := NewGraph(n)
 				for rep := 0; rep < 4; rep++ {
@@ -40,6 +41,7 @@ func BenchmarkCheckRacesHotLock(b *testing.B) {
 	const repeats = 8
 	for _, n := range []int{64, 200} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			g := NewGraph(n)
 			for i := 1; i < n; i++ {
 				g.AddEdge(i-1, i)

@@ -1,6 +1,9 @@
 package stm
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Overlay is a transaction-local write buffer used by PolicyLazy and by the
 // OCC execution regime: instead of mutating boosted storage in place and
@@ -38,6 +41,9 @@ type Overlay struct {
 	// be buffered here to keep the round's execution read-only on shared
 	// state.
 	isolated bool
+	// free recycles entry structs across Clear/reuse cycles so a pooled
+	// overlay's steady state allocates neither map buckets nor entries.
+	free []*overlayEntry
 }
 
 // OverlayKey addresses one semantic unit of one boosted object.
@@ -65,6 +71,39 @@ func NewOverlay() *Overlay {
 // isolated field.
 func NewIsolatedOverlay() *Overlay {
 	return &Overlay{entries: make(map[OverlayKey]*overlayEntry), isolated: true}
+}
+
+// overlayPool recycles root OCC overlays across execution rounds: the OCC
+// engine begins one overlay per transaction per round, and without reuse
+// each one costs a fresh map plus an entry struct per buffered write.
+// Pooled overlays keep their map buckets (cleared, not reallocated) and
+// their entry freelist.
+var overlayPool = sync.Pool{
+	New: func() any {
+		return &Overlay{entries: make(map[OverlayKey]*overlayEntry)}
+	},
+}
+
+// acquireIsolatedOverlay returns a pooled overlay configured for OCC.
+func acquireIsolatedOverlay() *Overlay {
+	o := overlayPool.Get().(*Overlay)
+	o.isolated = true
+	return o
+}
+
+// Release recycles a root overlay obtained from BeginOCC back into the
+// internal pool, once its writes have been applied or discarded. Child
+// frames are never pooled (the call is a no-op for them): a committing
+// child's entries transfer into its parent by Merge, so recycling the
+// child could alias live parent state. Callers must not touch o after
+// Release.
+func (o *Overlay) Release() {
+	if o.parent != nil {
+		return
+	}
+	o.Clear()
+	o.parent = nil
+	overlayPool.Put(o)
 }
 
 // NewChildOverlay returns an empty overlay for a nested frame of parent:
@@ -121,7 +160,9 @@ func (o *Overlay) Put(key OverlayKey, val any, deleted bool, apply func(val any,
 		e.isDelta, e.delta, e.applyDelta = false, 0, nil
 		return
 	}
-	o.entries[key] = &overlayEntry{val: val, deleted: deleted, apply: apply}
+	e := o.newEntry()
+	e.val, e.deleted, e.apply = val, deleted, apply
+	o.entries[key] = e
 }
 
 // Add buffers a commutative int64 delta against the uint64 counter at key.
@@ -131,7 +172,9 @@ func (o *Overlay) Put(key OverlayKey, val any, deleted bool, apply func(val any,
 func (o *Overlay) Add(key OverlayKey, delta int64, applyDelta func(delta int64)) {
 	e, ok := o.entries[key]
 	if !ok {
-		o.entries[key] = &overlayEntry{isDelta: true, delta: delta, applyDelta: applyDelta}
+		e = o.newEntry()
+		e.isDelta, e.delta, e.applyDelta = true, delta, applyDelta
+		o.entries[key] = e
 		return
 	}
 	if e.isDelta {
@@ -184,6 +227,9 @@ func (o *Overlay) Merge(child *Overlay) {
 			continue
 		}
 		o.entries[k] = e
+		// Ownership of e transfers to the parent; drop the child's
+		// reference so a later child Clear cannot recycle a live entry.
+		delete(child.entries, k)
 	}
 }
 
@@ -214,7 +260,25 @@ func (o *Overlay) Apply() {
 	o.Clear()
 }
 
-// Clear discards all buffered entries.
+// Clear discards all buffered entries. The map buckets and entry structs
+// are retained for reuse: entries move to the freelist (with their closure
+// and value fields zeroed so they pin nothing) and the map is cleared in
+// place.
 func (o *Overlay) Clear() {
-	o.entries = make(map[OverlayKey]*overlayEntry)
+	for k, e := range o.entries {
+		*e = overlayEntry{}
+		o.free = append(o.free, e)
+		delete(o.entries, k)
+	}
+}
+
+// newEntry pops a recycled entry from the freelist, or allocates one.
+func (o *Overlay) newEntry() *overlayEntry {
+	if n := len(o.free); n > 0 {
+		e := o.free[n-1]
+		o.free[n-1] = nil
+		o.free = o.free[:n-1]
+		return e
+	}
+	return new(overlayEntry)
 }

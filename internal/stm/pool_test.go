@@ -1,0 +1,112 @@
+package stm
+
+import (
+	"testing"
+
+	"contractstm/internal/gas"
+	"contractstm/internal/runtime"
+)
+
+// TestOverlayReleaseClearsState pins the pooling contract: an overlay that
+// comes back from the pool must behave exactly like a fresh one — no stale
+// entries, deltas, or isolation leaking from its previous life.
+func TestOverlayReleaseClearsState(t *testing.T) {
+	o := acquireIsolatedOverlay()
+	k := OverlayKey{Obj: 1, Key: "x"}
+	o.Put(k, uint64(7), false, func(any, bool) {})
+	o.Add(OverlayKey{Obj: 2, Key: "y"}, 3, func(int64) {})
+	o.Release()
+
+	// Drain the pool until our overlay (or a fresh one) comes out; either
+	// way it must be empty.
+	got := acquireIsolatedOverlay()
+	if got.Len() != 0 {
+		t.Fatalf("pooled overlay came back with %d entries", got.Len())
+	}
+	if _, _, ok := got.Get(k); ok {
+		t.Fatal("stale absolute entry visible after Release")
+	}
+	if _, ok := got.Delta(OverlayKey{Obj: 2, Key: "y"}); ok {
+		t.Fatal("stale delta visible after Release")
+	}
+	if !got.Isolated() {
+		t.Fatal("acquired overlay must be isolated")
+	}
+	got.Release()
+}
+
+// TestChildOverlayReleaseNoOp pins the ownership rule that makes pooling
+// safe: a committing child's entries transfer to the parent by Merge, so
+// releasing (or clearing) the child afterwards must not disturb them.
+func TestChildOverlayReleaseNoOp(t *testing.T) {
+	parent := NewIsolatedOverlay()
+	child := NewChildOverlay(parent)
+	k := OverlayKey{Obj: 9, Key: "slot"}
+	child.Put(k, "v", false, func(any, bool) {})
+	parent.Merge(child)
+
+	child.Release() // must be a no-op: child frames are never pooled
+	child.Clear()   // and clearing the child must not recycle merged entries
+
+	if v, _, ok := parent.Get(k); !ok || v != "v" {
+		t.Fatalf("merged entry lost after child Release/Clear: %v %v", v, ok)
+	}
+}
+
+// TestOverlayEntryFreelistReuse pins that Clear recycles entry structs and
+// that recycled entries carry no stale fields into their next use.
+func TestOverlayEntryFreelistReuse(t *testing.T) {
+	o := NewOverlay()
+	k := OverlayKey{Obj: 3, Key: "k"}
+	o.Put(k, uint64(1), true, func(any, bool) {})
+	o.Clear()
+	if len(o.free) != 1 {
+		t.Fatalf("freelist has %d entries after Clear, want 1", len(o.free))
+	}
+	o.Add(k, 5, func(int64) {})
+	if len(o.free) != 0 {
+		t.Fatal("Add did not draw from the freelist")
+	}
+	d, ok := o.Delta(k)
+	if !ok || d != 5 {
+		t.Fatalf("recycled entry carried stale state: delta=%d ok=%v", d, ok)
+	}
+	if v, del, ok := o.Get(k); ok {
+		t.Fatalf("recycled delta entry still reads as absolute: %v %v", v, del)
+	}
+}
+
+// TestTxRecycleLifecycle pins Recycle's safety rules: it is a no-op on
+// active roots and on children, and after recycling a settled OCC root its
+// overlay — still referenced by the engine via PendingWrites — survives.
+func TestTxRecycleLifecycle(t *testing.T) {
+	singleThread(t, func(th runtime.Thread) {
+		tx := BeginOCC(1, th, gas.NewMeter(1_000_000), gas.DefaultSchedule())
+		tx.Recycle() // active: must not recycle the live trace map
+		if err := tx.Access(LockID{Scope: "s", Key: "k"}, ModeExclusive, 1); err != nil {
+			t.Fatalf("access: %v", err)
+		}
+		ov := tx.Overlay()
+		ov.Put(OverlayKey{Obj: 1, Key: "k"}, uint64(1), false, func(any, bool) {})
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		tr := tx.TraceResult()
+		if len(tr.Entries) != 1 {
+			t.Fatalf("trace entries = %d, want 1", len(tr.Entries))
+		}
+		tx.Recycle()
+		wr := tx.PendingWrites()
+		if wr == nil || wr.Len() != 1 {
+			t.Fatal("Recycle must leave the pending-writes overlay intact")
+		}
+		wr.Apply()
+		wr.Release()
+
+		// A fresh pooled root must start with an empty trace.
+		tx2 := BeginOCC(2, th, gas.NewMeter(1_000_000), gas.DefaultSchedule())
+		if got := tx2.TraceResult(); len(got.Entries) != 0 {
+			t.Fatalf("recycled trace map leaked %d entries into a new root", len(got.Entries))
+		}
+	})
+}

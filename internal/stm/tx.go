@@ -3,11 +3,20 @@ package stm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"contractstm/internal/gas"
 	"contractstm/internal/runtime"
 	"contractstm/internal/types"
 )
+
+// traceSeenPool recycles the per-root read/write-set maps of replay and
+// OCC transactions. An OCC block execution begins one root per transaction
+// per round; reusing the maps (cleared, buckets kept) removes that
+// allocation from the hot path. Maps re-enter the pool via Tx.Recycle.
+var traceSeenPool = sync.Pool{
+	New: func() any { return make(map[LockID]Mode) },
+}
 
 // Executor is the interface through which boosted storage objects perform
 // operations. A *Tx implements it in all three kinds (speculative, serial,
@@ -73,6 +82,9 @@ func BeginSpeculative(mgr *Manager, id types.TxID, th runtime.Thread, meter *gas
 	t := newRoot(KindSpeculative, id, th, meter, mgr.sched)
 	t.mgr = mgr
 	t.policy = policy
+	// Only the speculative regime takes abstract locks, so only its roots
+	// carry a held map (the other kinds read it never and write it never).
+	t.held = make(map[LockID]Mode)
 	if policy == PolicyLazy {
 		t.overlay = NewOverlay()
 	}
@@ -90,7 +102,7 @@ func BeginSerial(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.S
 // replay: no locks; every access is recorded in a thread-local trace.
 func BeginReplay(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
 	t := newRoot(KindReplay, id, th, meter, sched)
-	t.traceSeen = make(map[LockID]Mode)
+	t.traceSeen = traceSeenPool.Get().(map[LockID]Mode)
 	return t
 }
 
@@ -101,8 +113,8 @@ func BeginReplay(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.S
 // first and then applies PendingWrites itself (or discards the attempt).
 func BeginOCC(id types.TxID, th runtime.Thread, meter *gas.Meter, sched gas.Schedule) *Tx {
 	t := newRoot(KindOCC, id, th, meter, sched)
-	t.traceSeen = make(map[LockID]Mode)
-	t.overlay = NewIsolatedOverlay()
+	t.traceSeen = traceSeenPool.Get().(map[LockID]Mode)
+	t.overlay = acquireIsolatedOverlay()
 	th.Work(sched.SpecTxSetup)
 	return t
 }
@@ -116,7 +128,6 @@ func newRoot(kind Kind, id types.TxID, th runtime.Thread, meter *gas.Meter, sche
 		meter:  meter,
 		sched:  sched,
 		status: StatusActive,
-		held:   make(map[LockID]Mode),
 	}
 	t.root = t
 	return t
@@ -349,12 +360,37 @@ func (t *Tx) PendingWrites() *Overlay {
 
 // TraceResult returns the deduplicated, sorted trace of a replay root.
 func (t *Tx) TraceResult() Trace {
-	entries := make([]TraceEntry, 0, len(t.traceSeen))
+	return t.TraceResultInto(nil)
+}
+
+// TraceResultInto is TraceResult with a caller-supplied entry buffer:
+// entries are appended into buf[:0], reusing its backing array when it is
+// large enough. Engines that re-execute transactions across rounds pass
+// the discarded attempt's trace storage here instead of allocating anew.
+func (t *Tx) TraceResultInto(buf []TraceEntry) Trace {
+	entries := buf[:0]
 	for l, m := range t.traceSeen {
 		entries = append(entries, TraceEntry{Lock: l, Mode: m})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Lock.Less(entries[j].Lock) })
 	return Trace{Tx: t.id, Entries: entries}
+}
+
+// Recycle returns a settled root's pooled read/write-set map for reuse by
+// a later BeginReplay/BeginOCC. Call it only after the transaction has
+// committed, aborted, or reverted AND its TraceResult has been taken; the
+// trace map is gone afterwards. The overlay is deliberately NOT released
+// here — for OCC roots the engine still holds PendingWrites and releases
+// the overlay itself once the writes are applied or discarded.
+func (t *Tx) Recycle() {
+	if t.parent != nil || t.status == StatusActive {
+		return
+	}
+	if t.traceSeen != nil {
+		clear(t.traceSeen)
+		traceSeenPool.Put(t.traceSeen)
+		t.traceSeen = nil
+	}
 }
 
 // HeldLocks returns a sorted snapshot of the family's held locks (tests).
