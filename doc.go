@@ -28,5 +28,8 @@
 // server middleware, with api/wire the schema and api/client the Go
 // SDK — see docs/API.md), cluster (multi-node propagation over the SDK,
 // durable-ordered publish, catch-up sync and snapshot fast-sync),
-// workload/stats/bench (the evaluation harness).
+// workload/stats/bench (the evaluation harness), analysis (the chainvet
+// static-analysis suite that machine-checks the determinism, locking,
+// pooling and codec invariants above; cmd/chainvet runs it standalone
+// or as a go vet tool — see docs/LINTS.md).
 package contractstm

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A finding is silenced only by an in-tree
+// comment naming the pass and justifying the exception:
+//
+//	//chainvet:allow(detmap) reason the iteration is a pure predicate
+//	//chainvet:allow(detmap,lockscope) reason spanning two passes
+//
+// Placement: either trailing on the flagged line, or on a directive-
+// only comment line in the contiguous comment block directly above it.
+// A directive without a written reason is itself a finding, as is a
+// directive that suppresses nothing (stale exceptions must not outlive
+// the code they excused) or one naming an unknown pass. Directive
+// findings carry the pseudo-pass name "chainvet" and cannot themselves
+// be suppressed.
+
+const directivePrefix = "//chainvet:allow("
+
+// directivePass is the pseudo-pass attributed to directive hygiene
+// findings.
+const directivePass = "chainvet"
+
+// A directive is one parsed //chainvet:allow comment.
+type directive struct {
+	passes []string
+	reason string
+	pos    token.Position
+	// groupEnd is the last line of the comment group the directive sits
+	// in: a directive block covers the code line directly below it, so
+	// the justification may continue over following comment lines.
+	groupEnd int
+	used     bool
+}
+
+// parseDirectives extracts every chainvet:allow directive from the
+// files, reporting malformed ones through report.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := text[len(directivePrefix):]
+				close := strings.IndexByte(rest, ')')
+				if close < 0 {
+					report(Diagnostic{Pass: directivePass, Pos: pos,
+						Message: "malformed chainvet:allow directive: missing ')'"})
+					continue
+				}
+				var passes []string
+				for _, p := range strings.Split(rest[:close], ",") {
+					p = strings.TrimSpace(p)
+					if p == "" {
+						continue
+					}
+					if known != nil && !known[p] {
+						report(Diagnostic{Pass: directivePass, Pos: pos,
+							Message: "chainvet:allow names unknown pass " + quote(p)})
+						continue
+					}
+					passes = append(passes, p)
+				}
+				reason := strings.TrimSpace(rest[close+1:])
+				if reason == "" {
+					report(Diagnostic{Pass: directivePass, Pos: pos,
+						Message: "chainvet:allow directive without a justification: every exception must say why it is sound"})
+					continue
+				}
+				if len(passes) == 0 {
+					continue
+				}
+				out = append(out, &directive{
+					passes:   passes,
+					reason:   reason,
+					pos:      pos,
+					groupEnd: fset.Position(cg.End()).Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// Filter applies the suppression directives found in t.Files to diags:
+// suppressed findings are dropped, and directive hygiene findings
+// (missing reason, unknown pass, unused directive) are appended. known
+// is the set of valid pass names.
+func Filter(t *Target, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	var kept []Diagnostic
+	var meta []Diagnostic
+	dirs := parseDirectives(t.Fset, t.Files, known, func(d Diagnostic) { d.fill(); meta = append(meta, d) })
+
+	// directiveLines[file][line] = directives anchored there. A
+	// directive on its own line anchors to the next non-directive line
+	// below it (comment blocks stack); a trailing directive anchors to
+	// its own line.
+	byFile := map[string][]*directive{}
+	for _, d := range dirs {
+		byFile[d.pos.Filename] = append(byFile[d.pos.Filename], d)
+	}
+
+	for _, diag := range diags {
+		if covers(byFile[diag.Pos.Filename], diag) {
+			continue
+		}
+		kept = append(kept, diag)
+	}
+	for _, d := range dirs {
+		if !d.used {
+			meta = append(meta, Diagnostic{
+				Pass: directivePass, Pos: d.pos,
+				Message: "unused chainvet:allow(" + strings.Join(d.passes, ",") + ") directive: the exception no longer matches a finding; delete it",
+			})
+		}
+	}
+	for i := range meta {
+		meta[i].fill()
+	}
+	kept = append(kept, meta...)
+	Sort(kept)
+	return kept
+}
+
+// covers reports whether any directive in dirs suppresses diag, marking
+// the directive used. A directive covers findings for its passes on its
+// own line (trailing comment) and on the code line directly below the
+// comment group it belongs to (leading comment block, justification
+// free to continue across the group's lines).
+func covers(dirs []*directive, diag Diagnostic) bool {
+	for _, d := range dirs {
+		if !hasPass(d.passes, diag.Pass) {
+			continue
+		}
+		if diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.groupEnd+1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func hasPass(passes []string, name string) bool {
+	for _, p := range passes {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// Directive hygiene: a directive with no justification, one naming an
+// unknown pass, and one suppressing nothing are themselves findings —
+// under the pseudo-pass "chainvet", which no directive can silence.
+func TestDirectiveHygiene(t *testing.T) {
+	const src = `package p
+
+//chainvet:allow(detmap) justified: the fold is order-insensitive
+func unused() {}
+
+//chainvet:allow(nosuchpass) some reason
+func unknown() {}
+
+//chainvet:allow(walltime)
+func bare() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &Target{Fset: fset, Files: []*ast.File{f}}
+	known := map[string]bool{"detmap": true, "walltime": true}
+
+	got := Filter(target, nil, known)
+	wantSubstrings := []string{
+		`unused chainvet:allow(detmap) directive`,
+		`unknown pass "nosuchpass"`,
+		`directive without a justification`,
+	}
+	if len(got) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(got), len(wantSubstrings), got)
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range got {
+			if d.Pass != "chainvet" {
+				t.Errorf("hygiene finding attributed to pass %q, want chainvet: %s", d.Pass, d)
+			}
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in:\n%v", want, got)
+		}
+	}
+}
+
+// A directive covers its own line (trailing form) and the first line
+// after its comment group (leading form) — and nothing further away:
+// a finding two lines below must survive, and a different pass's
+// finding on the covered line must survive too.
+func TestDirectiveAnchoring(t *testing.T) {
+	const src = `package p
+
+func f() {
+	x := 1 //chainvet:allow(detmap) trailing: covers this line
+	y := 2
+	z := 3
+	_, _, _ = x, y, z
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &Target{Fset: fset, Files: []*ast.File{f}}
+	known := map[string]bool{"detmap": true, "walltime": true}
+
+	onLine := Diagnostic{Pass: "detmap", Pos: token.Position{Filename: "p.go", Line: 4}, Message: "on the directive line"}
+	otherPass := Diagnostic{Pass: "walltime", Pos: token.Position{Filename: "p.go", Line: 4}, Message: "other pass, same line"}
+	twoBelow := Diagnostic{Pass: "detmap", Pos: token.Position{Filename: "p.go", Line: 6}, Message: "two lines below the directive"}
+	got := Filter(target, []Diagnostic{onLine, otherPass, twoBelow}, known)
+	for _, d := range got {
+		if d.Message == onLine.Message {
+			t.Errorf("directive failed to suppress the finding on its own line")
+		}
+	}
+	found := map[string]bool{}
+	for _, d := range got {
+		found[d.Message] = true
+	}
+	if !found[otherPass.Message] {
+		t.Errorf("directive for detmap suppressed a walltime finding")
+	}
+	if !found[twoBelow.Message] {
+		t.Errorf("directive suppressed a finding two lines below its group")
+	}
+}

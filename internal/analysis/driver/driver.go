@@ -1,0 +1,153 @@
+// Package driver loads, type-checks and analyzes packages for the
+// chainvet suite without importing golang.org/x/tools: package metadata
+// and export data come from `go list -export -json`, types come from
+// the standard library's gc importer reading the build cache's export
+// files, and syntax comes from go/parser. The same Target then feeds
+// the shared analysis.Run/Filter pipeline the vet-tool shim and the
+// analysistest harness use.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"contractstm/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// A Loaded is one root package parsed and type-checked, ready to run
+// analyzers over.
+type Loaded struct {
+	Path   string
+	Target *analysis.Target
+}
+
+// Load resolves patterns (e.g. "./...") through the go tool, then
+// parses and type-checks every root (non-dependency) package. Export
+// data for the dependency closure comes from `go list -export`, so the
+// build cache does the heavy lifting and only root packages are
+// type-checked from source.
+func Load(dir string, patterns []string) ([]*Loaded, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pkg := p
+			roots = append(roots, &pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var loaded []*Loaded
+	for _, p := range roots {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("driver: %w", err)
+			}
+			files = append(files, f)
+		}
+		target, err := Check(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %s: %w", p.ImportPath, err)
+		}
+		loaded = append(loaded, &Loaded{Path: p.ImportPath, Target: target})
+	}
+	return loaded, nil
+}
+
+// Check type-checks one package's parsed files into an analysis Target.
+// Shared by Load, the vet shim and analysistest.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*analysis.Target, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Target{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// Run loads patterns, applies the analyzers to every root package and
+// returns the directive-filtered findings.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, known map[string]bool) ([]analysis.Diagnostic, error) {
+	loaded, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Diagnostic
+	for _, l := range loaded {
+		diags, err := analysis.Run(l.Target, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", l.Path, err)
+		}
+		all = append(all, analysis.Filter(l.Target, diags, known)...)
+	}
+	analysis.Sort(all)
+	return all, nil
+}

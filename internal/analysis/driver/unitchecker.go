@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+
+	"contractstm/internal/analysis"
+)
+
+// This file implements the `go vet -vettool` unit protocol, which the
+// go command speaks to external vet tools (the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements):
+//
+//   - `tool -flags` prints a JSON description of the tool's flags;
+//   - `tool <unit>.cfg` analyzes one package unit described by the JSON
+//     config the go command wrote, prints findings to stderr, writes
+//     the (for chainvet, empty — no cross-package facts) .vetx output
+//     file, and exits non-zero iff there were findings.
+//
+// The go command invokes the tool once per package in the build graph,
+// with VetxOnly set for pure dependencies.
+
+// VetConfig mirrors cmd/go's vetConfig JSON.
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	NonGoFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one vet unit from the cfg file and returns the
+// findings (already directive-filtered). The caller prints and picks
+// the exit code.
+func RunUnit(cfgPath string, analyzers []*analysis.Analyzer, known map[string]bool) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("vet unit: %w", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("vet unit %s: %w", cfgPath, err)
+	}
+	// The go command caches and re-feeds vetx facts; chainvet has none,
+	// but the output file must exist for the cache entry.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("chainvet: no facts\n"), 0o666); err != nil {
+			return nil, fmt.Errorf("vet unit: writing vetx: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("vet unit: %w", err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("vet unit: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	target, err := Check(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("vet unit %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := analysis.Run(target, analyzers)
+	if err != nil {
+		return nil, fmt.Errorf("vet unit %s: %w", cfg.ImportPath, err)
+	}
+	return analysis.Filter(target, diags, known), nil
+}

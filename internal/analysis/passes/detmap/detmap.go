@@ -1,0 +1,191 @@
+// Package detmap flags map iteration in consensus-critical packages.
+//
+// Go randomizes map iteration order per run. The paper's protocol
+// requires the validator to reproduce the miner's (S, H, profiles)
+// schedule bit-for-bit, so any map range whose element order can leak
+// into a returned schedule, a commitment hash or a codec append is a
+// consensus-splitting bug — two replicas would derive different bytes
+// from the same block. Rather than attempt an unsound taint analysis,
+// the pass flags EVERY map range in engine, stm, sched, chain,
+// validator and miner, with two mechanical exemptions:
+//
+//   - collect-then-sort: the loop only accumulates into slices that are
+//     later passed to sort.* / slices.Sort* in the same function (the
+//     canonical deterministic-iteration idiom, e.g. Overlay.Apply);
+//   - keyless ranges (`for range m`), which observe only the count.
+//
+// Anything else needs either a real fix (sorted keys) or a
+// //chainvet:allow(detmap) directive whose justification proves the
+// iteration order cannot reach a schedule, commitment or encoding —
+// e.g. a pure ∀/∃ predicate over the elements.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"contractstm/internal/analysis"
+)
+
+// Analyzer is the detmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flag nondeterministic map iteration in consensus-critical packages unless collect-then-sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.ConsensusCritical(pass.PkgBase()) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc flags the map ranges in one function body. Nested function
+// literals are visited by the outer Inspect as their own "functions";
+// their ranges are checked against the literal's body, which is where
+// a sort call would have to sit to make the idiom local.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Nested literals are checked as their own functions by the
+			// outer walk; descending here would double-report.
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if rs.Key == nil && rs.Value == nil {
+			// `for range m` observes only len(m): order-free.
+			return true
+		}
+		if collectThenSort(pass, body, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"map iteration order is nondeterministic and this is consensus-critical package %s: iterate sorted keys, or annotate //chainvet:allow(detmap) with a proof the order cannot reach a schedule, commitment or encoding",
+			pass.PkgBase())
+		return true
+	})
+}
+
+// collectThenSort reports whether every side effect of the range body
+// is an append into collector slices that are each sorted later in the
+// enclosing function — the sorted-key idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+func collectThenSort(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	collectors := collectorVars(pass, rs)
+	if len(collectors) == 0 {
+		return false
+	}
+	sorted := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := calleeFunc(pass.TypesInfo, call)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if v, ok := asVar(pass.TypesInfo, call.Args[0]); ok {
+			sorted[v] = true
+		}
+		return true
+	})
+	for v := range collectors {
+		if !sorted[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectorVars returns the variables the range body accumulates into
+// via `x = append(x, ...)`, provided the body does nothing else: any
+// other statement disqualifies the idiom (a call, a hash write, a
+// second assignment could all observe the order).
+func collectorVars(pass *analysis.Pass, rs *ast.RangeStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return nil
+		}
+		v, ok := asVar(pass.TypesInfo, as.Lhs[0])
+		if !ok {
+			return nil
+		}
+		out[v] = true
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	case *ast.IndexExpr: // generic instantiation, e.g. slices.SortFunc[...]
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil, false
+}
+
+// asVar resolves an expression to the variable it names, if it is a
+// plain identifier.
+func asVar(info *types.Info, e ast.Expr) (*types.Var, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	return v, ok
+}

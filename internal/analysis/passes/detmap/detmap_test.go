@@ -1,0 +1,20 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"contractstm/internal/analysis/analysistest"
+	"contractstm/internal/analysis/passes/detmap"
+)
+
+// TestDetmap covers the firing case plus the two non-firing idioms:
+// collect-then-sort and keyless counting.
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer, "engine")
+}
+
+// TestDetmapAllowDirective proves a justified //chainvet:allow silences
+// the finding (the fixture carries no want and must stay silent).
+func TestDetmapAllowDirective(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer, "stm")
+}

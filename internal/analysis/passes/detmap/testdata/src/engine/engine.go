@@ -1,0 +1,34 @@
+// Package engine is a detmap fixture: its import-path base matches a
+// consensus-critical package, so raw map iteration that escapes must
+// fire while the collect-then-sort idiom and keyless counting must not.
+package engine
+
+import "sort"
+
+// BuildSchedule leaks raw iteration order into the returned schedule.
+func BuildSchedule(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts before anything escapes: no finding.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count never touches element identity: keyless range, no finding.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package stm is a detmap fixture for the suppression directive: the
+// iteration below would fire, but a justified //chainvet:allow silences
+// it, so this package expects zero diagnostics (and the directive is
+// used, so no unused-directive finding either).
+package stm
+
+// AllTrue is an order-insensitive ∀-predicate over the map's values.
+func AllTrue(m map[string]bool) bool {
+	//chainvet:allow(detmap) conjunction over values: the verdict is identical under any iteration order and nothing per-element escapes
+	for _, v := range m {
+		if !v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+// Package errsync forbids silently discarded Close/Sync/Flush errors
+// in the persistence layer.
+//
+// The durability story ("publish only after durable") rests on fsync
+// results actually being observed: an os.File Sync or Close whose error
+// vanishes in an expression statement can acknowledge a block the disk
+// never accepted. In package persist every error-returning Close, Sync
+// or Flush call must be checked or explicitly discarded with `_ =` —
+// the assignment is the in-tree record that dropping the error was a
+// decision, typically on a cleanup path where a prior error already
+// carries the failure. Deferred calls are exempt: `defer f.Close()` on
+// an error path is the idiom for releasing descriptors whose write
+// errors have already been surfaced by Sync.
+package errsync
+
+import (
+	"go/ast"
+	"go/types"
+
+	"contractstm/internal/analysis"
+)
+
+// Analyzer is the errsync pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsync",
+	Doc:  "forbid unchecked Close/Sync/Flush error returns in the persistence layer",
+	Run:  run,
+}
+
+// watched are the fsync-bearing method names whose errors must not be
+// dropped on the floor.
+var watched = map[string]bool{
+	"Close": true,
+	"Sync":  true,
+	"Flush": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgBase() != "persist" {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !watched[sel.Sel.Name] {
+				return true
+			}
+			if !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s result silently discarded in the persistence layer: check it, or write `_ = x.%s()` to record the drop as deliberate",
+				sel.Sel.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's (only or last) result is an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

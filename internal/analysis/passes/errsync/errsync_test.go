@@ -1,0 +1,12 @@
+package errsync_test
+
+import (
+	"testing"
+
+	"contractstm/internal/analysis/analysistest"
+	"contractstm/internal/analysis/passes/errsync"
+)
+
+func TestErrsync(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errsync.Analyzer, "persist")
+}

@@ -1,0 +1,30 @@
+// Package persist is an errsync fixture: Close/Sync errors are the only
+// crash-safety signal the durability layer gets, so dropping one on the
+// floor must fire; checking it or recording the discard with `_ =` must
+// not.
+package persist
+
+import "os"
+
+// Drop silently discards the Close error.
+func Drop(f *os.File) {
+	f.Close() // want `Close result silently discarded`
+}
+
+// DropSync silently discards the Sync error.
+func DropSync(f *os.File) {
+	f.Sync() // want `Sync result silently discarded`
+}
+
+// Checked propagates both: no finding.
+func Checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Deliberate records the discard: no finding.
+func Deliberate(f *os.File) {
+	_ = f.Close()
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"contractstm/internal/analysis/analysistest"
+	"contractstm/internal/analysis/passes/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockscope.Analyzer, "node")
+}

@@ -1,0 +1,52 @@
+// Package nogob freezes the set of encoding/gob import sites.
+//
+// PR 6 made the flat binary codec the default wire format and demoted
+// gob to a one-release read-compat fallback, confined to five
+// sanctioned files. gob is reflection-driven and its output is not a
+// stable function of the value alone (type registration order leaks
+// into the stream), which is why it was retired from every consensus
+// surface. This pass fails the build for any OTHER file importing
+// encoding/gob, so the planned retirement shrinks the sanctioned list
+// instead of silently growing new dependents.
+package nogob
+
+import (
+	"path/filepath"
+
+	"contractstm/internal/analysis"
+)
+
+// Analyzer is the nogob pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogob",
+	Doc:  "forbid encoding/gob imports outside the sanctioned read-compat fallback files",
+	Run:  run,
+}
+
+// sanctioned maps package-path base -> file base names still allowed to
+// import encoding/gob: the PR 6 fallback surface. Retiring gob means
+// deleting entries here and watching the pass flag the stragglers.
+var sanctioned = map[string]map[string]bool{
+	"types":   {"gob.go": true},
+	"persist": {"pool.go": true, "snapshot.go": true},
+	"chain":   {"codec.go": true},
+	"storage": {"persist.go": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.SourceFiles() {
+		for _, imp := range f.Imports {
+			if imp.Path.Value != `"encoding/gob"` {
+				continue
+			}
+			file := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			if sanctioned[pass.PkgBase()][file] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"new encoding/gob import in %s/%s: gob is a read-compat fallback confined to the sanctioned PR 6 files; encode with internal/codec instead",
+				pass.PkgBase(), file)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package nogob_test
+
+import (
+	"testing"
+
+	"contractstm/internal/analysis/analysistest"
+	"contractstm/internal/analysis/passes/nogob"
+)
+
+// TestNogob: the sanctioned fallback file imports gob silently, any
+// other file in the same package fires.
+func TestNogob(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nogob.Analyzer, "chain")
+}

@@ -1,0 +1,10 @@
+// codec.go is the sanctioned read-compat gob fallback file for package
+// chain: its import must not fire.
+package chain
+
+import "encoding/gob"
+
+// Frame is the wire frame the fallback decoder registers.
+type Frame struct{ N int }
+
+func init() { gob.Register(Frame{}) }

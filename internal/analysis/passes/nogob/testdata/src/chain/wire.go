@@ -1,0 +1,15 @@
+// wire.go is NOT on the sanctioned list: a fresh gob import here is a
+// new dependency on reflection-driven encoding and must fire.
+package chain
+
+import (
+	"bytes"
+	"encoding/gob" // want `new encoding/gob import in chain/wire.go`
+)
+
+// DecodeFrame decodes a frame the slow, forbidden way.
+func DecodeFrame(b []byte) (Frame, error) {
+	var f Frame
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f)
+	return f, err
+}

@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"contractstm/internal/analysis/analysistest"
+	"contractstm/internal/analysis/passes/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolpair.Analyzer, "codec")
+}

@@ -1,0 +1,50 @@
+// Package codec is a poolpair fixture: every pooled acquisition must be
+// released on every path, or ownership must provably leave the function
+// (returned, deferred, handed to another call).
+package codec
+
+import "sync"
+
+// Buffer is the pooled scratch object.
+type Buffer struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() interface{} { return new(Buffer) }}
+
+// GetBuffer is the package's acquire helper; its callers inherit the
+// release obligation.
+func GetBuffer() *Buffer { return bufPool.Get().(*Buffer) }
+
+// Release returns the buffer to the pool.
+func (b *Buffer) Release() { bufPool.Put(b) }
+
+// Leak releases on one arm only: the fall-through path drops the object.
+func Leak(cond bool) {
+	b := GetBuffer() // want `pooled object b is not released on every path`
+	if cond {
+		b.Release()
+	}
+}
+
+// DirectLeak acquires straight from the pool and only conditionally
+// returns it.
+func DirectLeak(cond bool) {
+	b := bufPool.Get().(*Buffer) // want `pooled object b is not released on every path`
+	if cond {
+		bufPool.Put(b)
+	}
+}
+
+// Balanced defers the release: every return path is covered.
+func Balanced(cond bool) int {
+	b := GetBuffer()
+	defer b.Release()
+	if cond {
+		return 1
+	}
+	return len(b.b)
+}
+
+// Handoff transfers ownership to the caller: its obligation now.
+func Handoff() *Buffer {
+	return GetBuffer()
+}

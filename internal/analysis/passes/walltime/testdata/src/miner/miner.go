@@ -1,0 +1,19 @@
+// Package miner is a walltime fixture: wall-clock reads and randomness
+// must not reach consensus-critical code, while plain time arithmetic
+// on caller-provided values is fine.
+package miner
+
+import (
+	"math/rand" // want `consensus-critical package miner imports "math/rand"`
+	"time"
+)
+
+// Seed mixes wall time and randomness into a schedule seed.
+func Seed() int64 {
+	return time.Now().UnixNano() + int64(rand.Int()) // want `time.Now in consensus-critical package miner`
+}
+
+// Span works on values handed in by the caller: no finding.
+func Span(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

@@ -1,0 +1,68 @@
+// Package walltime bans wall-clock and randomness reads in
+// consensus-critical packages.
+//
+// Mining and validation must derive the identical (S, H, profiles)
+// schedule from the identical block on every node: a time.Now read or a
+// math/rand draw inside engine, stm, sched, chain, validator or miner
+// is a value no two replicas agree on, so anything it influences — a
+// retry decision, a selection order, an encoded field — is a consensus
+// split waiting for load to expose it. Benchmarks and tests are exempt
+// (_test.go files are skipped); production timing belongs in the stats
+// and bench layers, which sit outside the replayed core.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"contractstm/internal/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Since/time.Until and math/rand in consensus-critical packages",
+	Run:  run,
+}
+
+// bannedTimeFuncs are the wall-clock reads; time.Duration arithmetic
+// and time.Sleep (which never feeds a value into a schedule) stay
+// legal.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.ConsensusCritical(pass.PkgBase()) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(),
+					"consensus-critical package %s imports %s: randomness cannot appear in a deterministically replayed schedule",
+					pass.PkgBase(), imp.Path.Value)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s in consensus-critical package %s: wall-clock values differ across replicas and must not influence schedules, commitments or encodings",
+					fn.Name(), pass.PkgBase())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"contractstm/internal/analysis/analysistest"
+	"contractstm/internal/analysis/passes/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walltime.Analyzer, "miner")
+}

@@ -1,0 +1,30 @@
+package suite_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"contractstm/internal/analysis/driver"
+	"contractstm/internal/analysis/suite"
+)
+
+// The repo must stay clean under its own suite: every invariant either
+// holds or carries an in-tree justified //chainvet:allow. A finding here
+// means new code broke an invariant (fix it) or added an unjustified or
+// stale exception (justify or delete it).
+func TestRepoIsCleanUnderChainvet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(root, []string{"./..."}, suite.Analyzers(), suite.Known())
+	if err != nil {
+		t.Fatalf("chainvet over the repo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,35 @@
+// Package suite registers the chainvet passes. cmd/chainvet, the vet
+// unit shim and the self-check test all consume this one list, so a new
+// pass added here is everywhere at once.
+package suite
+
+import (
+	"contractstm/internal/analysis"
+	"contractstm/internal/analysis/passes/detmap"
+	"contractstm/internal/analysis/passes/errsync"
+	"contractstm/internal/analysis/passes/lockscope"
+	"contractstm/internal/analysis/passes/nogob"
+	"contractstm/internal/analysis/passes/poolpair"
+	"contractstm/internal/analysis/passes/walltime"
+)
+
+// Analyzers returns the full chainvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmap.Analyzer,
+		walltime.Analyzer,
+		nogob.Analyzer,
+		lockscope.Analyzer,
+		poolpair.Analyzer,
+		errsync.Analyzer,
+	}
+}
+
+// Known returns the valid pass-name set for directive validation.
+func Known() map[string]bool {
+	m := map[string]bool{}
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}

@@ -440,15 +440,23 @@ func (n *Node) Close() error {
 	if flushErr == nil {
 		n.maybeSnapshot(0)
 	}
+	// n.mu guards the bookkeeping reads only; the pool save and WAL close
+	// run outside it (execMu, still held, keeps the world quiescent, and
+	// persist.Log serializes its own I/O internally).
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.log == nil {
+	log := n.log
+	var pending []contract.Call
+	if log != nil {
+		pending = n.pool.PendingCalls()
+	}
+	n.mu.Unlock()
+	if log == nil {
 		return flushErr
 	}
-	if err := n.log.SavePool(n.pool.PendingCalls()); err != nil {
+	if err := log.SavePool(pending); err != nil {
 		return fmt.Errorf("node: close: %w", err)
 	}
-	if err := n.log.Close(); err != nil {
+	if err := log.Close(); err != nil {
 		return fmt.Errorf("node: close: %w", err)
 	}
 	return flushErr
@@ -472,9 +480,10 @@ func (n *Node) Kill() {
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.log != nil {
-		_ = n.log.Close()
+	log := n.log
+	n.mu.Unlock()
+	if log != nil {
+		_ = log.Close()
 	}
 }
 
@@ -955,24 +964,46 @@ var ErrStaleSnapshot = errors.New("node: snapshot not ahead of local head")
 func (n *Node) InstallSnapshot(s persist.Snapshot) error {
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
+	// The in-memory swap happens under n.mu; the checkpoint's durability
+	// write runs after it, outside the bookkeeping lock (execMu, still
+	// held, is what keeps the world at a block boundary throughout).
+	log, err := n.installSnapshotState(s)
+	if err != nil {
+		return err
+	}
+	if log != nil {
+		if err := log.InstallSnapshot(s); err != nil {
+			// State is installed and consistent; only durability of the
+			// checkpoint failed. Surface it — the caller may retry sync
+			// into a healthier directory.
+			return fmt.Errorf("node: install snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// installSnapshotState swaps the node's in-memory world and chain to the
+// checkpoint and returns the log (if any) for the caller's durability
+// write. Caller holds execMu.
+func (n *Node) installSnapshotState(s persist.Snapshot) (*persist.Log, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if s.Height() <= n.chain.Head().Header.Number {
-		return fmt.Errorf("%w: snapshot %d, head %d", ErrStaleSnapshot, s.Height(), n.chain.Head().Header.Number)
+		return nil, fmt.Errorf("%w: snapshot %d, head %d", ErrStaleSnapshot, s.Height(), n.chain.Head().Header.Number)
 	}
 	old := n.world.Snapshot()
 	if err := n.world.RestoreState(s.State); err != nil {
 		n.world.Restore(old)
-		return fmt.Errorf("node: install snapshot: %w", err)
+		return nil, fmt.Errorf("node: install snapshot: %w", err)
 	}
 	root, err := n.world.StateRoot()
 	if err != nil {
 		n.world.Restore(old)
-		return fmt.Errorf("node: install snapshot: state root: %w", err)
+		return nil, fmt.Errorf("node: install snapshot: state root: %w", err)
 	}
 	if root != s.Header.StateRoot {
 		n.world.Restore(old)
-		return fmt.Errorf("node: install snapshot %d: state hashes to %s, header claims %s",
+		return nil, fmt.Errorf("node: install snapshot %d: state hashes to %s, header claims %s",
 			s.Height(), root.Short(), s.Header.StateRoot.Short())
 	}
 	n.chain = chain.NewAt(s.Header)
@@ -981,15 +1012,7 @@ func (n *Node) InstallSnapshot(s persist.Snapshot) error {
 	// The installed checkpoint is this chain's new root: everything the
 	// node now holds is at least as durable as the snapshot itself.
 	n.durableHeight.Store(s.Height())
-	if n.log != nil {
-		if err := n.log.InstallSnapshot(s); err != nil {
-			// State is installed and consistent; only durability of the
-			// checkpoint failed. Surface it — the caller may retry sync
-			// into a healthier directory.
-			return fmt.Errorf("node: install snapshot: %w", err)
-		}
-	}
-	return nil
+	return n.log, nil
 }
 
 // SnapshotNow returns a state checkpoint: a durable node serves its
@@ -1070,6 +1093,9 @@ type Status struct {
 // CurrentStatus snapshots node statistics. It never blocks behind an
 // in-flight block execution (see MineOne's locking discipline).
 func (n *Node) CurrentStatus() Status {
+	// n.eng is fixed at construction, so its kind is read before taking
+	// the lock rather than calling into the engine under it.
+	engineKind := n.eng.Kind().String()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	head := n.chain.Head()
@@ -1077,7 +1103,7 @@ func (n *Node) CurrentStatus() Status {
 		Height:          head.Header.Number,
 		HeadHash:        head.Header.Hash(),
 		PoolLen:         n.pool.Len(),
-		Engine:          n.eng.Kind().String(),
+		Engine:          engineKind,
 		MinedBlocks:     n.minedBlocks,
 		ValidatedBlocks: n.validatedBlocks,
 		TotalRetries:    n.totalRetries,

@@ -248,7 +248,7 @@ func acquireDirLock(dir string) (*os.File, error) {
 		return nil, fmt.Errorf("persist: lock file: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
 	}
 	return f, nil
@@ -269,7 +269,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	l := &Log{dir: dir, opts: opts.WithDefaults(), lockFile: lock}
 	snap, valid, err := scanSnapshots(dir)
 	if err != nil {
-		lock.Close()
+		_ = lock.Close()
 		return nil, err
 	}
 	l.latest, l.validSnaps = snap, valid
@@ -283,7 +283,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	segs, err := listSegments(dir)
 	if err != nil {
-		lock.Close()
+		_ = lock.Close()
 		return nil, err
 	}
 	if len(segs) == 0 {

@@ -57,11 +57,11 @@ func (l *Log) SavePool(calls []contract.Call) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := writeFrame(tmp, buf.Bytes()); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: write pool: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: pool sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -89,7 +89,7 @@ func (l *Log) TakePool() ([]contract.Call, error) {
 		return nil, fmt.Errorf("persist: open pool: %w", err)
 	}
 	payload, err := readFrame(f, maxPoolBytes)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		return nil, fmt.Errorf("persist: read pool: %w", err)
 	}

@@ -194,11 +194,11 @@ func (l *Log) EnsureGenesis(h chain.Header) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := writeFrame(tmp, buf.Bytes()); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: write genesis marker: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: sync genesis marker: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -246,7 +246,7 @@ func scanSnapshots(dir string) (latest *Snapshot, valid []uint64, err error) {
 			continue
 		}
 		s, err := DecodeSnapshot(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil || s.Height() != h {
 			continue
 		}
@@ -379,11 +379,11 @@ func (l *Log) writeSnapshotFile(s Snapshot) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(wire.Bytes()); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: write snapshot %d: %w", s.Height(), err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: snapshot sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

@@ -153,6 +153,7 @@ func BuildHappensBefore(n int, profiles []stm.Profile) (*Graph, error) {
 		}
 	}
 	g := NewGraph(n)
+	//chainvet:allow(detmap) Edge-set union: each lock contributes its own edges (ordered within the lock by use counter), and AddEdge into the adjacency set commutes across locks, so the resulting graph is order-independent.
 	for lock, hs := range perLock {
 		sort.Slice(hs, func(i, j int) bool { return hs[i].counter < hs[j].counter })
 		for i := 1; i < len(hs); i++ {
@@ -346,6 +347,7 @@ func CheckRaces(g *Graph, traces []stm.Trace) error {
 			perLock[e.Lock] = append(perLock[e.Lock], lu.u)
 		}
 	}
+	//chainvet:allow(detmap) ∃-check: the accept/reject verdict is a conjunction over all lock-use pairs, so iteration order can only change which offending pair an ErrRace names, never whether the block verifies.
 	for lock, uses := range perLock {
 		for i := 0; i < len(uses); i++ {
 			for j := i + 1; j < len(uses); j++ {

@@ -142,6 +142,7 @@ func (m *Manager) acquire(root *Tx, th runtime.Thread, l LockID, mode Mode) erro
 // grantable reports whether root may hold ls in the given mode right now:
 // every other holder must be compatible. Called with m.mu held.
 func (m *Manager) grantable(ls *lockState, root *Tx, mode Mode) bool {
+	//chainvet:allow(detmap) ∀-predicate: the answer is a conjunction over holders, identical under any iteration order, and nothing per-element escapes.
 	for h, hm := range ls.holders {
 		if h == root {
 			continue
@@ -172,6 +173,7 @@ func (m *Manager) wouldDeadlock(root *Tx, ls *lockState, mode Mode) bool {
 			return false
 		}
 		next := m.locks[w.lock]
+		//chainvet:allow(detmap) ∃-search: cycle existence is a disjunction over holders; which holder closes the cycle first does not change the verdict, and only the boolean escapes.
 		for h, hm := range next.holders {
 			if h == tx || Compatible(hm, w.mode) {
 				continue
@@ -182,6 +184,7 @@ func (m *Manager) wouldDeadlock(root *Tx, ls *lockState, mode Mode) bool {
 		}
 		return false
 	}
+	//chainvet:allow(detmap) ∃-search: same disjunction at the outer level — deadlock either exists or it does not, regardless of holder order.
 	for h, hm := range ls.holders {
 		if h == root || Compatible(hm, mode) {
 			continue
@@ -202,6 +205,7 @@ func (m *Manager) releaseAll(root *Tx, th runtime.Thread, bump bool) []ProfileEn
 	m.mu.Lock()
 	var entries []ProfileEntry
 	var toWake []runtime.Thread
+	//chainvet:allow(detmap) Each lock's use counter is independent, so the published counters do not depend on release order; the entries slice is sorted by lock before it returns, and wake order only races threads that re-serialize on m.mu anyway.
 	for l, mode := range root.held {
 		ls := m.locks[l]
 		if ls == nil {

@@ -221,6 +221,7 @@ func (o *Overlay) Len() int { return len(o.entries) }
 // win on key collisions (the child executed later), except that child
 // deltas accumulate into parent deltas or fold into parent absolute values.
 func (o *Overlay) Merge(child *Overlay) {
+	//chainvet:allow(detmap) Per-key fold: each key occurs once and updates only its own slot in the parent (Add accumulates deltas commutatively), so the merged overlay is identical under any iteration order.
 	for k, e := range child.entries {
 		if e.isDelta {
 			o.Add(k, e.delta, e.applyDelta)
@@ -265,6 +266,7 @@ func (o *Overlay) Apply() {
 // and value fields zeroed so they pin nothing) and the map is cleared in
 // place.
 func (o *Overlay) Clear() {
+	//chainvet:allow(detmap) Recycling only: entries are zeroed before entering the freelist, so which interchangeable struct a later newEntry pops is unobservable.
 	for k, e := range o.entries {
 		*e = overlayEntry{}
 		o.free = append(o.free, e)
