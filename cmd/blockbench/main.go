@@ -81,12 +81,14 @@ func run() error {
 		blocksF   = flag.Int("blocks", 0, "blocks per point for the pipeline sweep (0 = default 8)")
 		sloF      = flag.Bool("slo", false, "run the hot-path SLO sweep (wall-clock codec + engine metrics) and write the JSON artifact")
 		sloOut    = flag.String("slojson", "BENCH_hotpath.json", "output path for the -slo JSON artifact")
+		admitF    = flag.Bool("admission", false, "run the mempool admission sweep (1M-sender ingest + adversarial flooder) and write the JSON artifact")
+		admitOut  = flag.String("admissionjson", "BENCH_admission.json", "output path for the -admission JSON artifact")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF && !*admitF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -149,6 +151,31 @@ func run() error {
 			return fmt.Errorf("close %s: %w", *sloOut, err)
 		}
 		fmt.Printf("\nwrote %s\n", *sloOut)
+		return nil
+	}
+
+	if *admitF {
+		acfg := bench.AdmissionConfig{}
+		if *quick {
+			acfg.Senders, acfg.SubmitOps = 50_000, 20_000
+		}
+		report, err := bench.RunAdmission(acfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteAdmissionTable(os.Stdout, report)
+		f, err := os.Create(*admitOut)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *admitOut, err)
+		}
+		if err := bench.WriteAdmissionJSON(f, report); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", *admitOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *admitOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *admitOut)
 		return nil
 	}
 

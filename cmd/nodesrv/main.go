@@ -9,7 +9,17 @@
 //	nodesrv [-addr :8547] [-workers 3] [-policy fifo|spread|lockhint] [-engine serial|speculative|occ]
 //	        [-data DIR] [-sync-every 1] [-snap-every 256] [-pipeline 1]
 //	        [-max-gas 100000000] [-default-gas 1000000] [-blocksize 100]
+//	        [-mempool-shards 16] [-mempool-sender-slots 0] [-mempool-rate 0]
+//	        [-mempool-burst 8] [-mempool-max-bytes 0] [-mempool-shard-entries 0]
 //	        [-pprof 127.0.0.1:6060]
+//
+// The -mempool-* flags tune transaction admission on POST /v1/tx: the
+// pool is sharded by sender (-mempool-shards), each sender may hold at
+// most -mempool-sender-slots queued transactions (0 = unlimited) and
+// submit at -mempool-rate per second with bursts of -mempool-burst
+// (0 = unlimited), and the pool sheds load beyond -mempool-max-bytes
+// total or -mempool-shard-entries per shard (0 = unlimited). Shed
+// submissions answer 429 with a Retry-After hint; the Go SDK honors it.
 //
 // With -data the node is durable: blocks append to a write-ahead log
 // before becoming visible, state snapshots are written every -snap-every
@@ -56,6 +66,7 @@ import (
 	"contractstm/internal/contracts"
 	"contractstm/internal/engine"
 	"contractstm/internal/gas"
+	"contractstm/internal/mempool"
 	"contractstm/internal/node"
 	"contractstm/internal/persist"
 	"contractstm/internal/txpool"
@@ -73,7 +84,7 @@ func run() error {
 	var (
 		addr       = flag.String("addr", ":8547", "listen address")
 		workers    = flag.Int("workers", 3, "miner/validator pool size")
-		policyName = flag.String("policy", "fifo", `block selection: "fifo" or "spread"`)
+		policyName = flag.String("policy", "fifo", `block selection: "fifo", "spread" or "lockhint"`)
 		engName    = flag.String("engine", "speculative", `execution engine: "serial", "speculative" or "occ"`)
 		dataDir    = flag.String("data", "", "durable data directory (empty = in-memory only)")
 		syncEvery  = flag.Int("sync-every", 1, "fsync the WAL every N blocks (negative = never)")
@@ -83,6 +94,13 @@ func run() error {
 		defaultGas = flag.Uint64("default-gas", api.DefaultGasLimit, "gas limit assigned to transactions that leave it unset")
 		blockSize  = flag.Int("blocksize", api.DefaultBlockSize, "default block size for mine requests that leave it unset")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty = off)")
+
+		mpShards       = flag.Int("mempool-shards", 0, "mempool shard count (0 = default 16)")
+		mpSenderSlots  = flag.Int("mempool-sender-slots", 0, "max queued transactions per sender (0 = unlimited)")
+		mpRate         = flag.Float64("mempool-rate", 0, "per-sender admission rate limit in tx/s (0 = unlimited)")
+		mpBurst        = flag.Int("mempool-burst", 0, "per-sender admission burst size (0 = default 8)")
+		mpMaxBytes     = flag.Int64("mempool-max-bytes", 0, "total mempool byte budget; beyond it lower-priority transactions are evicted (0 = unlimited)")
+		mpShardEntries = flag.Int("mempool-shard-entries", 0, "max entries per mempool shard (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -107,6 +125,14 @@ func run() error {
 		MaxGasLimit:      *maxGas,
 		DefaultGasLimit:  *defaultGas,
 		DefaultBlockSize: *blockSize,
+		Mempool: mempool.Config{
+			Shards:          *mpShards,
+			PerSenderSlots:  *mpSenderSlots,
+			RatePerSec:      *mpRate,
+			Burst:           *mpBurst,
+			MaxBytes:        *mpMaxBytes,
+			MaxShardEntries: *mpShardEntries,
+		},
 	})
 	if err != nil {
 		return err

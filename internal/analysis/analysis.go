@@ -104,10 +104,13 @@ func (p *Pass) SourceFiles() []*ast.File {
 
 // ConsensusCritical reports whether a package (by path base) is one
 // whose outputs feed schedules, commitments or wire encodings — the
-// packages where detmap and walltime bind.
+// packages where detmap and walltime bind. The mempool qualifies
+// because its selection order feeds block contents: admission verdicts
+// and queue order must be deterministic in the submission sequence
+// (the clock is injected, never read).
 func ConsensusCritical(base string) bool {
 	switch base {
-	case "engine", "stm", "sched", "chain", "validator", "miner":
+	case "engine", "stm", "sched", "chain", "validator", "miner", "mempool":
 		return true
 	}
 	return false

@@ -8,12 +8,19 @@
 //
 // Retry policy: GETs are idempotent and are retried on transport errors
 // and 5xx answers with exponential backoff. A 4xx answer is the server's
-// considered refusal and is never retried. Writes are never retried by
-// the SDK: the mempool does not deduplicate by content, so a resent
-// submit whose first attempt actually landed would execute twice — a
-// client that must retry a lost submit should poll the content-derived
-// ID first. Block import (POST /v1/blocks) is left to the caller's
-// delivery strategy (cluster.Broadcaster owns broadcast retries).
+// considered refusal and is never retried — with two exceptions around
+// transaction submission, where the mempool's admission control makes
+// retrying well-defined. A 429 answer is explicit back-pressure, not a
+// refusal: SubmitTx honors the server's Retry-After hint (falling back
+// to capped, jittered exponential backoff) and resubmits until admitted
+// or the attempt budget runs out. A 409 tx_duplicate means the node
+// already tracks this exact transaction — admission dedups by content-
+// derived ID — so the SDK folds it into success: the submission landed,
+// poll the receipt. Transport-errored submits are still never resent
+// blindly (the response, not the submission, may be what was lost);
+// poll the content-derived ID (wire.TxIDOf) first. Block import
+// (POST /v1/blocks) is left to the caller's delivery strategy
+// (cluster.Broadcaster owns broadcast retries).
 package client
 
 import (
@@ -24,7 +31,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +50,10 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After hint on a 429 answer (zero
+	// when the server sent none): how long the client should wait before
+	// resubmitting. SubmitTx honors it automatically.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -58,13 +71,17 @@ func IsCode(err error, code string) bool {
 	return errors.As(err, &ae) && ae.Code == code
 }
 
-// RetryPolicy bounds retries of idempotent requests.
+// RetryPolicy bounds retries of idempotent requests and of submissions
+// shed with 429.
 type RetryPolicy struct {
 	// MaxAttempts is tries per request (<=0 selects 3).
 	MaxAttempts int
 	// Backoff is the first retry's delay, doubling per attempt
 	// (<=0 selects 25ms).
 	Backoff time.Duration
+	// MaxBackoff caps the per-attempt delay, including server-supplied
+	// Retry-After hints (<=0 selects 2s).
+	MaxBackoff time.Duration
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -73,6 +90,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.Backoff <= 0 {
 		p.Backoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
 	}
 	return p
 }
@@ -212,17 +232,66 @@ func decodeError(resp *http.Response) error {
 	if json.Unmarshal(body, &envelope) == nil && envelope.Message != "" {
 		ae.Code, ae.Message = envelope.Code, envelope.Message
 	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.ParseInt(s, 10, 64); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	return ae
 }
 
 // SubmitTx submits a transaction and returns its content-derived ID.
-// Not retried: a lost response does not mean a lost submission, and the
-// pool would hold (and execute) both copies. On a transport error, poll
-// Receipt with the locally derivable ID (wire.TxIDOf) before resending.
+//
+// Back-pressure handling: a 429 answer (rate_limited, sender_limit,
+// shard_saturated, pool_overloaded) is retried up to the policy's
+// attempt budget, waiting the server's Retry-After hint when present
+// and a capped, jittered exponential backoff otherwise. A 409
+// tx_duplicate is folded into success — the node already tracks this
+// exact transaction, so the submission is effectively landed and the
+// caller should poll the receipt. Transport errors are NOT retried: a
+// lost response does not mean a lost submission; poll Receipt with the
+// locally derivable ID (wire.TxIDOf) before resending.
 func (c *Client) SubmitTx(ctx context.Context, tx wire.TxSubmit) (wire.TxSubmitted, error) {
-	var out wire.TxSubmitted
-	err := c.postJSON(ctx, "/v1/tx", false, tx, &out)
-	return out, err
+	policy := c.retry.withDefaults()
+	delay := policy.Backoff
+	for attempt := 1; ; attempt++ {
+		var out wire.TxSubmitted
+		err := c.postJSON(ctx, "/v1/tx", false, tx, &out)
+		if err == nil {
+			return out, nil
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			return wire.TxSubmitted{}, err
+		}
+		if ae.Status == http.StatusConflict && ae.Code == wire.CodeTxDuplicate {
+			// The node holds (or held) this exact transaction; report the
+			// locally derivable ID so the caller can poll its receipt.
+			if call, cerr := tx.Call(); cerr == nil {
+				return wire.TxSubmitted{ID: wire.TxIDOf(call).String(), Verdict: "duplicate"}, nil
+			}
+			return wire.TxSubmitted{Verdict: "duplicate"}, nil
+		}
+		if ae.Status != http.StatusTooManyRequests || attempt >= policy.MaxAttempts {
+			return wire.TxSubmitted{}, err
+		}
+		wait := delay
+		if ae.RetryAfter > 0 {
+			wait = ae.RetryAfter
+		}
+		if wait > policy.MaxBackoff {
+			wait = policy.MaxBackoff
+		}
+		// Full jitter desynchronizes a shed fleet: every client backing
+		// off the same hint would otherwise return as one thundering herd.
+		wait = time.Duration(rand.Int64N(int64(wait)) + 1)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return wire.TxSubmitted{}, ctx.Err()
+		}
+		delay *= 2
+	}
 }
 
 // SubmitCall submits a contract call (SubmitTx over SubmitOf).

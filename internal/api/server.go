@@ -50,13 +50,35 @@ const (
 	DefaultTimeout = 60 * time.Second
 )
 
+// SubmitResult is the backend's admission outcome for one transaction
+// submit. The server maps it onto the HTTP surface: admitted → 202,
+// duplicate → 409 (the existing receipt stands), everything else →
+// 429 with a Retry-After header.
+type SubmitResult struct {
+	// ID is the content-derived transaction ID — meaningful for every
+	// outcome, so a shed caller can still correlate.
+	ID types.Hash
+	// Verdict is the wire-stable verdict name ("admitted", "replaced",
+	// "duplicate", "rate_limited", "sender_limit", "shard_saturated",
+	// "pool_overloaded"). For shed submissions it doubles as the error
+	// code.
+	Verdict string
+	// Admitted reports the transaction is queued (admitted or replaced).
+	Admitted bool
+	// Duplicate reports a known-identical transaction.
+	Duplicate bool
+	// RetryAfter is the pool's back-off hint for shed submissions (0 =
+	// no estimate; the server clamps the header to at least 1s).
+	RetryAfter time.Duration
+}
+
 // Backend is the node surface the server serves. Implementations:
 // *node.Node. Every method must be safe for concurrent use.
 type Backend interface {
-	// SubmitTx admits a transaction to the pool, marks it pending in the
-	// receipt store (the backend owns the store's write side) and
-	// returns its content-derived ID.
-	SubmitTx(contract.Call) types.Hash
+	// SubmitTx runs a transaction through mempool admission at the given
+	// priority lane, marking it pending in the receipt store on success
+	// (the backend owns the store's write side).
+	SubmitTx(call contract.Call, priority uint8) SubmitResult
 	// PoolLen reports queued transactions.
 	PoolLen() int
 	// MineOne mines one block of at most blockSize transactions.
@@ -322,7 +344,10 @@ func allowEmptyBody(dst any) bool {
 }
 
 // handleTx is POST /v1/tx: validate, assign the content-derived ID,
-// admit to the pool.
+// run mempool admission. Accepted submits answer 202; a duplicate
+// answers 409 (the caller's existing receipt stands); shed submits
+// answer 429 with the admission stage as the error code and a
+// Retry-After header carrying the pool's back-off hint.
 func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 	var tx wire.TxSubmit
 	if !s.decodeBody(w, r, &tx) {
@@ -341,8 +366,31 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("gas limit %d over node maximum %d", call.GasLimit, s.cfg.MaxGasLimit))
 		return
 	}
-	id := s.cfg.Backend.SubmitTx(call)
-	s.writeJSON(w, http.StatusAccepted, wire.TxSubmitted{ID: id.String(), PoolLen: s.cfg.Backend.PoolLen()})
+	res := s.cfg.Backend.SubmitTx(call, tx.Priority)
+	switch {
+	case res.Admitted:
+		s.writeJSON(w, http.StatusAccepted, wire.TxSubmitted{
+			ID: res.ID.String(), PoolLen: s.cfg.Backend.PoolLen(), Verdict: res.Verdict,
+		})
+	case res.Duplicate:
+		s.fail(w, http.StatusConflict, wire.CodeTxDuplicate,
+			fmt.Errorf("transaction %s already submitted; existing receipt stands", res.ID.Short()))
+	default:
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(res.RetryAfter), 10))
+		s.fail(w, http.StatusTooManyRequests, res.Verdict,
+			fmt.Errorf("transaction %s shed by admission control (%s)", res.ID.Short(), res.Verdict))
+	}
+}
+
+// retryAfterSeconds renders a back-off hint as whole seconds for the
+// Retry-After header, rounding up with a 1-second floor — the header
+// has no sub-second form, and "retry immediately" defeats shedding.
+func retryAfterSeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // handleReceipt is GET /v1/tx/{id}: the receipt lifecycle query.

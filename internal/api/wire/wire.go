@@ -64,6 +64,29 @@ const (
 	CodeSnapshotUnavailable = "snapshot_unavailable"
 	// CodeInternal is an unexpected server-side failure.
 	CodeInternal = "internal"
+
+	// Admission-control codes (POST /v1/tx). CodeTxDuplicate answers 409
+	// — the transaction is already queued or executed here, and the
+	// caller's existing receipt stands. The remaining four answer 429
+	// with a Retry-After header; each names the admission stage that shed
+	// the submission, and the code string equals the "verdict" value an
+	// accepted submit reports.
+
+	// CodeTxDuplicate is a submit whose content-derived ID the node
+	// already tracks (queued or executed); the existing receipt stands.
+	CodeTxDuplicate = "tx_duplicate"
+	// CodeRateLimited is a submit shed by the sender's token-bucket rate
+	// limit.
+	CodeRateLimited = "rate_limited"
+	// CodeSenderLimit is a submit shed by the per-sender slot cap (and
+	// not outranking any of the sender's queued transactions).
+	CodeSenderLimit = "sender_limit"
+	// CodeShardSaturated is a submit shed because the sender's mempool
+	// shard is at its entry cap.
+	CodeShardSaturated = "shard_saturated"
+	// CodePoolOverloaded is a submit shed by the mempool byte budget
+	// with nothing cheaper to evict.
+	CodePoolOverloaded = "pool_overloaded"
 )
 
 // Error is the JSON error envelope every /v1 handler returns on non-2xx.
@@ -158,6 +181,11 @@ type TxSubmit struct {
 	// GasLimit bounds the call's execution steps; 0 selects the node's
 	// configured default.
 	GasLimit uint64 `json:"gasLimit"`
+	// Priority is the submission's mempool lane (0-255, higher first).
+	// Higher-priority transactions are selected first and may replace a
+	// sender's queued lower-priority transactions at the slot cap.
+	// Priority is intake-side quality of service, not consensus state.
+	Priority uint8 `json:"priority,omitempty"`
 }
 
 // SubmitOf renders a contract call as a submit request (client helper).
@@ -211,6 +239,11 @@ func (t TxSubmit) Call() (contract.Call, error) {
 type TxSubmitted struct {
 	ID      string `json:"id"`
 	PoolLen int    `json:"poolLen"`
+	// Verdict is the admission outcome for an accepted submit:
+	// "admitted", or "replaced" when the transaction displaced a queued
+	// lower-priority transaction from the same sender. Empty from
+	// pre-admission servers.
+	Verdict string `json:"verdict,omitempty"`
 }
 
 // TxIDOf derives a call's transaction ID: the hash of its canonical
@@ -228,6 +261,11 @@ const (
 	// StatusAborted: executed, aborted (reverted), gas consumed; still
 	// part of a durable block's schedule.
 	StatusAborted = "aborted"
+	// StatusEvicted: dropped from the mempool under memory pressure (or
+	// replaced by a higher-priority transaction) before ever executing.
+	// Terminal for this submission, but the same transaction may be
+	// resubmitted — eviction does not make its ID a duplicate.
+	StatusEvicted = "evicted"
 )
 
 // TxReceipt is the GET /v1/tx/{id} response: one transaction's execution
@@ -368,9 +406,31 @@ type Status struct {
 	WalGroupCommits int64  `json:"walGroupCommits,omitempty"`
 	WalMaxGroup     int    `json:"walMaxGroup,omitempty"`
 	ChainBase       uint64 `json:"chainBase,omitempty"`
+	// Mempool reports the sharded pool's admission counters and
+	// occupancy (nil from pre-admission servers).
+	Mempool *MempoolStatus `json:"mempool,omitempty"`
 	// API is filled in by the serving layer (nil when the status was
 	// produced outside an API server).
 	API *APIMetrics `json:"api,omitempty"`
+}
+
+// MempoolStatus is the sharded mempool's admission accounting inside
+// GET /v1/status: cumulative counters per admission verdict, eviction
+// count, and current occupancy overall and per shard.
+type MempoolStatus struct {
+	Admitted       int64 `json:"admitted"`
+	Replaced       int64 `json:"replaced,omitempty"`
+	Duplicate      int64 `json:"duplicate,omitempty"`
+	RateLimited    int64 `json:"rateLimited,omitempty"`
+	SenderLimit    int64 `json:"senderLimit,omitempty"`
+	ShardSaturated int64 `json:"shardSaturated,omitempty"`
+	PoolOverloaded int64 `json:"poolOverloaded,omitempty"`
+	Evicted        int64 `json:"evicted,omitempty"`
+	// Bytes is the pool's current encoded-byte footprint; Shards the
+	// configured stripe count; ShardOccupancy the queued count per shard.
+	Bytes          int64 `json:"bytes"`
+	Shards         int   `json:"shards"`
+	ShardOccupancy []int `json:"shardOccupancy,omitempty"`
 }
 
 // Event is one event-stream entry (GET /v1/subscribe): a block that just

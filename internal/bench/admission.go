@@ -1,0 +1,322 @@
+package bench
+
+// The admission sweep measures the ingest path the sharded mempool was
+// built for: sustained block production while a million distinct
+// accounts submit through admission control and an adversarial flooder
+// hammers the same pool from a single sender. Three questions, three
+// numbers: how much submit throughput sharding buys (single-shard vs
+// sharded parallel submits), how much block throughput a flood costs
+// (baseline vs flooded blocks/s), and how little of the flood gets in
+// (flooder acceptance rate under per-sender caps).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contractstm/internal/contract"
+	"contractstm/internal/mempool"
+	"contractstm/internal/txpool"
+	"contractstm/internal/types"
+)
+
+// AdmissionConfig tunes the admission sweep. The zero value selects the
+// full-scale run CI's -quick lane scales down.
+type AdmissionConfig struct {
+	// Senders is the honest account population; each submits exactly one
+	// transaction (default 1,000,000).
+	Senders int
+	// BlockSize is the selection size per drained block (default 256).
+	BlockSize int
+	// Shards is the sharded pool's shard count (default 16). The
+	// single-shard submit phase always uses 1.
+	Shards int
+	// PerSenderSlots caps queued transactions per sender (default 16).
+	PerSenderSlots int
+	// RatePerSec and Burst are the per-sender token bucket (default
+	// 1000/s, burst 64) — generous for one-shot honest senders, a hard
+	// wall for the flooder.
+	RatePerSec float64
+	Burst      int
+	// MaxShardEntries bounds per-shard occupancy (default 4096): it is
+	// the submit-ahead window that keeps a million-transaction run in
+	// bounded memory, with feeders retrying on shard_saturated
+	// back-pressure exactly as a real client would.
+	MaxShardEntries int
+	// SubmitOps is the per-pool operation count of the submit-throughput
+	// phase (default 200,000).
+	SubmitOps int
+	// Feeders is the number of honest submitter goroutines (default 4).
+	Feeders int
+	// FlooderRate paces the adversarial flooder's submission attempts
+	// per second (default 20,000 — hundreds of times one sender's
+	// admission allowance). Pacing, rather than a free-spinning loop,
+	// keeps the measured quantity "what a flood does to the pool" and
+	// not "what a busy loop does to a shared CPU".
+	FlooderRate float64
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Senders <= 0 {
+		c.Senders = 1_000_000
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 256
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.PerSenderSlots <= 0 {
+		c.PerSenderSlots = 16
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 1000
+	}
+	if c.Burst <= 0 {
+		c.Burst = 64
+	}
+	if c.MaxShardEntries <= 0 {
+		c.MaxShardEntries = 4096
+	}
+	if c.SubmitOps <= 0 {
+		c.SubmitOps = 200_000
+	}
+	if c.Feeders <= 0 {
+		c.Feeders = 4
+	}
+	if c.FlooderRate <= 0 {
+		c.FlooderRate = 20_000
+	}
+	return c
+}
+
+// AdmissionReport is the BENCH_admission.json artifact.
+type AdmissionReport struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Senders    int    `json:"senders"`
+	BlockSize  int    `json:"block_size"`
+	Shards     int    `json:"shards"`
+
+	// Parallel submit throughput, admissions per second, into a pool with
+	// one shard versus the configured shard count.
+	SubmitOpsPerSecSingleShard float64 `json:"submit_ops_per_sec_single_shard"`
+	SubmitOpsPerSecSharded     float64 `json:"submit_ops_per_sec_sharded"`
+	ShardingSpeedup            float64 `json:"sharding_speedup"`
+
+	// Sustained selection throughput draining the honest population,
+	// without and with the flooder, and their ratio (flooded/baseline —
+	// the acceptance bar is >= 0.9).
+	BaselineBlocksPerSec float64 `json:"baseline_blocks_per_sec"`
+	FloodedBlocksPerSec  float64 `json:"flooded_blocks_per_sec"`
+	FloodedRatio         float64 `json:"flooded_ratio"`
+
+	// The flood, from the flooder's side: submissions attempted, how many
+	// admission let through, and the acceptance rate (capped by the
+	// per-sender slot and rate limits, not by honest traffic).
+	FlooderSubmitted int64   `json:"flooder_submitted"`
+	FlooderAdmitted  int64   `json:"flooder_admitted"`
+	FlooderAccepted  float64 `json:"flooder_acceptance_rate"`
+
+	// FloodedStats is the pool's verdict accounting after the flooded
+	// run: the shed traffic itemized.
+	FloodedStats mempool.StatsSnapshot `json:"flooded_stats"`
+}
+
+// admissionCall synthesizes the i-th unique transfer-shaped call for
+// sender id. Distinct (sender, recipient) pairs give distinct
+// content-derived TxIDs, so dedup never confuses two submissions.
+func admissionCall(sender, nonce uint64) contract.Call {
+	return contract.Call{
+		Sender:   types.AddressFromUint64(0xF100D_0000 + sender),
+		Contract: types.AddressFromUint64(0xC0DE_F100D),
+		Function: "transfer",
+		Args:     []any{types.AddressFromUint64(0x7000_0000 + nonce), uint64(3)},
+		GasLimit: 1_000_000,
+	}
+}
+
+// submitThroughput measures parallel trusted-rate admissions/s into a
+// pool with the given shard count: every worker submits distinct-sender
+// calls through the full admission pipeline with permissive limits, so
+// the number isolates the sharding (lock contention), not the verdicts.
+func submitThroughput(shards, total, workers int) float64 {
+	pool := mempool.New(mempool.Config{Shards: shards})
+	per := total / workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w * per)
+			for i := 0; i < per; i++ {
+				pool.Admit(admissionCall(base+uint64(i), base+uint64(i)), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(per*workers) / elapsed.Seconds()
+}
+
+// drainRun pushes one transaction from each of cfg.Senders honest
+// accounts through admission while a drain loop selects blocks, and
+// (optionally) an adversarial flooder spams from a single sender the
+// whole time. It returns the sustained blocks/s and the flooder's
+// submitted/admitted counts.
+func drainRun(cfg AdmissionConfig, flood bool) (blocksPerSec float64, pool *mempool.Pool, submitted, admitted int64) {
+	pool = mempool.New(mempool.Config{
+		Shards:          cfg.Shards,
+		PerSenderSlots:  cfg.PerSenderSlots,
+		RatePerSec:      cfg.RatePerSec,
+		Burst:           cfg.Burst,
+		MaxShardEntries: cfg.MaxShardEntries,
+		Now:             time.Now,
+	})
+
+	var next atomic.Int64
+	var feeders sync.WaitGroup
+	for f := 0; f < cfg.Feeders; f++ {
+		feeders.Add(1)
+		go func() {
+			defer feeders.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Senders) {
+					return
+				}
+				call := admissionCall(uint64(i), uint64(i))
+				// shard_saturated is the submit-ahead window pushing back;
+				// yield and retry like a well-behaved client.
+				for pool.Admit(call, 0).Verdict == mempool.VerdictShardSaturated {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	floodDone := make(chan struct{})
+	var flooder sync.WaitGroup
+	if flood {
+		flooder.Add(1)
+		go func() {
+			defer flooder.Done()
+			// Submit in bursts, sleeping the burst's share of the pacing
+			// rate between them.
+			const burst = 64
+			pause := time.Duration(float64(burst) / cfg.FlooderRate * float64(time.Second))
+			var nonce uint64
+			for {
+				for i := 0; i < burst; i++ {
+					d := pool.Admit(admissionCall(1<<40, nonce), 1)
+					nonce++
+					submitted++
+					if d.Verdict.Admitted() {
+						admitted++
+					}
+				}
+				select {
+				case <-floodDone:
+					return
+				case <-time.After(pause):
+				}
+			}
+		}()
+	}
+
+	feedersDone := make(chan struct{})
+	go func() { feeders.Wait(); close(feedersDone) }()
+
+	blocks := 0
+	start := time.Now()
+	for {
+		_, err := pool.SelectBatch(txpool.PolicyFIFO, cfg.BlockSize)
+		if err != nil {
+			select {
+			case <-feedersDone:
+				// Feeders finished and the pool is empty apart from, at
+				// most, the flooder's trickle: the honest population is
+				// drained.
+				elapsed := time.Since(start)
+				close(floodDone)
+				flooder.Wait()
+				return float64(blocks) / elapsed.Seconds(), pool, submitted, admitted
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		blocks++
+	}
+}
+
+// RunAdmission runs the admission sweep.
+func RunAdmission(cfg AdmissionConfig) (AdmissionReport, error) {
+	cfg = cfg.withDefaults()
+	report := AdmissionReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Senders:    cfg.Senders,
+		BlockSize:  cfg.BlockSize,
+		Shards:     cfg.Shards,
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	report.SubmitOpsPerSecSingleShard = submitThroughput(1, cfg.SubmitOps, workers)
+	report.SubmitOpsPerSecSharded = submitThroughput(cfg.Shards, cfg.SubmitOps, workers)
+	if report.SubmitOpsPerSecSingleShard > 0 {
+		report.ShardingSpeedup = report.SubmitOpsPerSecSharded / report.SubmitOpsPerSecSingleShard
+	}
+
+	baseline, _, _, _ := drainRun(cfg, false)
+	report.BaselineBlocksPerSec = baseline
+	flooded, pool, submitted, admitted := drainRun(cfg, true)
+	report.FloodedBlocksPerSec = flooded
+	if baseline > 0 {
+		report.FloodedRatio = flooded / baseline
+	}
+	report.FlooderSubmitted = submitted
+	report.FlooderAdmitted = admitted
+	if submitted > 0 {
+		report.FlooderAccepted = float64(admitted) / float64(submitted)
+	}
+	report.FloodedStats = pool.Stats()
+	return report, nil
+}
+
+// WriteAdmissionJSON writes the report as indented JSON (the CI
+// artifact).
+func WriteAdmissionJSON(w io.Writer, r AdmissionReport) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteAdmissionTable prints the report for humans.
+func WriteAdmissionTable(w io.Writer, r AdmissionReport) {
+	fmt.Fprintf(w, "admission sweep: senders=%d block=%d shards=%d %s GOMAXPROCS=%d\n\n",
+		r.Senders, r.BlockSize, r.Shards, r.GoVersion, r.GOMAXPROCS)
+	fmt.Fprintf(w, "submit throughput: 1 shard %12.0f admits/s\n", r.SubmitOpsPerSecSingleShard)
+	fmt.Fprintf(w, "                   %d shards %11.0f admits/s (%.2fx)\n",
+		r.Shards, r.SubmitOpsPerSecSharded, r.ShardingSpeedup)
+	fmt.Fprintf(w, "blocks/s:          baseline %11.1f\n", r.BaselineBlocksPerSec)
+	fmt.Fprintf(w, "                   flooded  %11.1f (%.2fx of baseline)\n",
+		r.FloodedBlocksPerSec, r.FloodedRatio)
+	fmt.Fprintf(w, "flooder:           %d submitted, %d admitted (%.4f%% acceptance)\n",
+		r.FlooderSubmitted, r.FlooderAdmitted, 100*r.FlooderAccepted)
+}

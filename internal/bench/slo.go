@@ -10,9 +10,12 @@ import (
 	"testing"
 
 	"contractstm/internal/chain"
+	"contractstm/internal/contract"
 	"contractstm/internal/engine"
+	"contractstm/internal/mempool"
 	"contractstm/internal/miner"
 	rt "contractstm/internal/runtime"
+	"contractstm/internal/txpool"
 	"contractstm/internal/types"
 	"contractstm/internal/workload"
 )
@@ -233,6 +236,36 @@ func RunSLO(cfg SLOConfig) (HotpathReport, error) {
 			}
 		})
 		report.Metrics = append(report.Metrics, metricOf(name, br))
+	}
+
+	// Admission hot path: one full admission-pipeline pass per op (TxID
+	// hash, dedup probe, shard insert) with permissive limits, so the
+	// number isolates the pipeline rather than verdict short-circuits.
+	// The pool drains outside the timer whenever the call ring wraps, so
+	// occupancy — and the dedup map — stays bounded and duplicate-free.
+	{
+		const ring = 1 << 15
+		calls := make([]contract.Call, ring)
+		for i := range calls {
+			calls[i] = admissionCall(uint64(i), uint64(i))
+		}
+		pool := mempool.New(mempool.Config{})
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i&(ring-1) == 0 {
+					b.StopTimer()
+					for {
+						if _, err := pool.SelectBatch(txpool.PolicyFIFO, 4096); err != nil {
+							break
+						}
+					}
+					b.StartTimer()
+				}
+				pool.Admit(calls[i&(ring-1)], 0)
+			}
+		})
+		report.Metrics = append(report.Metrics, metricOf("mempool/admit", br))
 	}
 
 	sort.Slice(report.Metrics, func(i, j int) bool {

@@ -1,0 +1,76 @@
+package mempool
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"contractstm/internal/txpool"
+)
+
+// FuzzAdmissionDeterminism replays an arbitrary op sequence into two
+// fresh pools and requires byte-identical outcomes: every admission
+// verdict, every eviction set, the final stats and the final queue
+// length. Admission is consensus-adjacent — its decisions choose which
+// transactions can reach a block — so any hidden nondeterminism (map
+// iteration, allocation-dependent tie-breaks) is a real bug, and this
+// target exists to surface it.
+//
+// Encoding: each input byte is one op. Bytes with the top two bits set
+// are a SelectBatch of size (b&0x0F)+1; anything else is an Admit with
+// sender b&0x0F, priority (b>>4)&0x03, and a nonce cycling mod 7 so
+// duplicate submissions occur naturally.
+func FuzzAdmissionDeterminism(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x10, 0xC5, 0x01})
+	f.Add(bytes.Repeat([]byte{0x07}, 40))                   // one sender hammering: slots + dedup
+	f.Add([]byte{0x01, 0x11, 0x21, 0x31, 0xCF, 0x01, 0x31}) // admit/select/readmit
+	f.Add(bytes.Repeat([]byte{0x00, 0x3F, 0xC1}, 20))
+
+	cfg := Config{Shards: 4, PerSenderSlots: 2, MaxShardEntries: 6, MaxBytes: 2048}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a := runOps(cfg, ops)
+		b := runOps(cfg, ops)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("same ops, different outcomes\nrun 1: %v\nrun 2: %v", a, b)
+		}
+	})
+}
+
+// runOps interprets the fuzz bytes against a fresh pool and returns a
+// full trace of observable outcomes, cross-checked against a model of
+// the expected queue length.
+func runOps(cfg Config, ops []byte) []string {
+	p := New(cfg)
+	var trace []string
+	wantLen := 0
+	for i, b := range ops {
+		if b&0xC0 == 0xC0 {
+			sel, err := p.SelectBatch(txpool.PolicyFIFO, int(b&0x0F)+1)
+			if err != nil {
+				trace = append(trace, "select:empty")
+				continue
+			}
+			wantLen -= sel.Len()
+			trace = append(trace, fmt.Sprintf("select:%d", sel.Len()))
+			continue
+		}
+		d := p.Admit(testCall(uint64(b&0x0F), uint64(i%7)), uint8(b>>4)&0x03)
+		if d.Verdict.Admitted() {
+			wantLen++
+		}
+		wantLen -= len(d.Dropped)
+		ev := ""
+		for _, dr := range d.Dropped {
+			ev += ":" + dr.ID.String()
+		}
+		trace = append(trace, d.Verdict.String()+ev)
+		if p.Len() != wantLen {
+			trace = append(trace, fmt.Sprintf("LEN MISMATCH at op %d: pool %d, model %d", i, p.Len(), wantLen))
+			return trace
+		}
+	}
+	trace = append(trace, fmt.Sprintf("final:%d:%+v", p.Len(), p.Stats()))
+	return trace
+}

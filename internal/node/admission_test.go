@@ -1,0 +1,128 @@
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/mempool"
+	"contractstm/internal/persist"
+	"contractstm/internal/runtime"
+)
+
+// TestResubmitAfterDurableReturnsExistingReceipt is the idempotency
+// regression test: a client that resubmits a transaction after it
+// committed (a retry across a lost 202, say) must get the same ID back
+// and must NOT re-enqueue the call — the durable receipt stands.
+func TestResubmitAfterDurableReturnsExistingReceipt(t *testing.T) {
+	w, holders := newTokenWorld(t, 2)
+	n, err := New(Config{
+		World: w, Workers: 2, Runner: runtime.NewSimRunner(),
+		DataDir: t.TempDir(), Persist: persist.Options{SnapshotEvery: -1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Close()
+	sdk := sdkFor(t, n)
+	ctx := context.Background()
+
+	tx := transferTx(holders[0], holders[1], 25)
+	first, err := sdk.SubmitTx(ctx, tx)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := n.MineOne(10); err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	if err := n.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	rec, err := sdk.Receipt(ctx, first.ID)
+	if err != nil || rec.Status != wire.StatusCommitted {
+		t.Fatalf("committed receipt = %+v, err %v", rec, err)
+	}
+
+	// The byte-identical resubmission: the node answers 409 tx_duplicate,
+	// which the SDK folds into a success carrying the derived ID.
+	again, err := sdk.SubmitTx(ctx, tx)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if again.ID != first.ID {
+		t.Fatalf("resubmit ID = %s, want %s", again.ID, first.ID)
+	}
+	if again.Verdict != "duplicate" {
+		t.Fatalf("resubmit verdict = %q", again.Verdict)
+	}
+	// The receipt is untouched — still the committed one, same block.
+	rec2, err := sdk.Receipt(ctx, first.ID)
+	if err != nil || rec2.Status != wire.StatusCommitted || rec2.BlockHeight != rec.BlockHeight {
+		t.Fatalf("receipt after resubmit = %+v, err %v", rec2, err)
+	}
+	// And nothing re-entered the pool.
+	st, err := sdk.Status(ctx)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.PoolLen != 0 {
+		t.Fatalf("pool len = %d after duplicate resubmit", st.PoolLen)
+	}
+}
+
+// TestSubmitShedsWith429AndRetryAfter drives the raw HTTP mapping of
+// admission verdicts: a rate-limited sender gets 429, the verdict name
+// as the machine-readable code, and a Retry-After hint; the mempool
+// counters surface in /v1/status.
+func TestSubmitShedsWith429AndRetryAfter(t *testing.T) {
+	w, holders := newTokenWorld(t, 3)
+	now := time.Unix(2000, 0)
+	n, err := New(Config{
+		World: w, Workers: 2, Runner: runtime.NewSimRunner(),
+		Mempool: mempool.Config{
+			RatePerSec: 1, Burst: 1,
+			Now: func() time.Time { return now },
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	url := httpNode(t, n)
+
+	resp, _ := postJSON(t, url+"/v1/tx", transferTx(holders[0], holders[1], 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d", resp.StatusCode)
+	}
+	// Same sender, distinct transaction, bucket empty: shed.
+	resp, body := postJSON(t, url+"/v1/tx", transferTx(holders[0], holders[1], 2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("throttled submit status = %d (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\" at rate 1/s", ra)
+	}
+	var envelope wire.Error
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("error decode: %v (body %s)", err, body)
+	}
+	if envelope.Code != mempool.VerdictRateLimited.String() {
+		t.Fatalf("code = %q, want %q", envelope.Code, mempool.VerdictRateLimited.String())
+	}
+	// A different sender is not throttled.
+	resp, _ = postJSON(t, url+"/v1/tx", transferTx(holders[2], holders[1], 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other sender status = %d", resp.StatusCode)
+	}
+
+	// The shed shows up in the status counters.
+	st := n.APIStatus()
+	if st.Mempool == nil {
+		t.Fatal("status has no mempool section")
+	}
+	if st.Mempool.Admitted != 2 || st.Mempool.RateLimited != 1 {
+		t.Fatalf("mempool counters = %+v", st.Mempool)
+	}
+}

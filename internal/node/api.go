@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 
+	"contractstm/internal/api"
 	"contractstm/internal/api/wire"
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
 	"contractstm/internal/gas"
+	"contractstm/internal/mempool"
 	"contractstm/internal/persist"
 	"contractstm/internal/runtime"
 	"contractstm/internal/stm"
@@ -27,8 +29,39 @@ import (
 // built once per node, so request metrics aggregate across callers.
 func (n *Node) Handler() http.Handler { return n.server }
 
-// SubmitTx implements api.Backend (pool admission + pending tracking).
-func (n *Node) SubmitTx(call contract.Call) types.Hash { return n.Submit(call) }
+// SubmitTx implements api.Backend: the admission-controlled intake. It
+// differs from Submit — the node's own trusted path — in three ways: the
+// call runs the full admission pipeline (dedup, per-sender caps, rate
+// limits, byte budget), a duplicate of a transaction the node already
+// tracks short-circuits to the existing receipt instead of re-entering
+// the pool, and eviction casualties get terminal evicted receipts so
+// their submitters learn the outcome by polling. A transaction whose
+// receipt is StatusEvicted may re-enter: eviction is terminal for that
+// attempt, not for the payload. Receipt history is an LRU, so a
+// duplicate older than the receipt window re-admits — acceptable,
+// because re-executing a forgotten transaction is the pre-admission
+// status quo, not a new hazard.
+func (n *Node) SubmitTx(call contract.Call, priority uint8) api.SubmitResult {
+	id := wire.TxIDOf(call)
+	if rec, ok := n.receipts.Get(id); ok && rec.Status != wire.StatusEvicted {
+		return api.SubmitResult{ID: id, Verdict: mempool.VerdictDuplicate.String(), Duplicate: true}
+	}
+	d := n.pool.Admit(call, priority)
+	res := api.SubmitResult{
+		ID:         id,
+		Verdict:    d.Verdict.String(),
+		Admitted:   d.Verdict.Admitted(),
+		Duplicate:  d.Verdict == mempool.VerdictDuplicate,
+		RetryAfter: d.RetryAfter,
+	}
+	if res.Admitted {
+		n.receipts.MarkPending(id)
+	}
+	for _, dr := range d.Dropped {
+		n.receipts.Record(dr.ID, wire.TxReceipt{ID: dr.ID.String(), Status: wire.StatusEvicted})
+	}
+	return res
+}
 
 // ImportBlock implements api.Backend over AcceptBlock, folding the
 // idempotent re-import case into a non-error answer.
@@ -140,5 +173,18 @@ func (n *Node) APIStatus() wire.Status {
 		WalGroupCommits: st.WalGroupCommits,
 		WalMaxGroup:     st.WalMaxGroup,
 		ChainBase:       st.ChainBase,
+		Mempool: &wire.MempoolStatus{
+			Admitted:       st.Mempool.Admitted,
+			Replaced:       st.Mempool.Replaced,
+			Duplicate:      st.Mempool.Duplicate,
+			RateLimited:    st.Mempool.RateLimited,
+			SenderLimit:    st.Mempool.SenderLimit,
+			ShardSaturated: st.Mempool.ShardSaturated,
+			PoolOverloaded: st.Mempool.PoolOverloaded,
+			Evicted:        st.Mempool.Evicted,
+			Bytes:          st.Mempool.Bytes,
+			Shards:         len(st.Mempool.ShardOccupancy),
+			ShardOccupancy: st.Mempool.ShardOccupancy,
+		},
 	}
 }

@@ -54,12 +54,14 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"contractstm/internal/api"
 	"contractstm/internal/api/wire"
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
 	"contractstm/internal/engine"
+	"contractstm/internal/mempool"
 	"contractstm/internal/miner"
 	"contractstm/internal/persist"
 	"contractstm/internal/pipeline"
@@ -121,6 +123,12 @@ type Config struct {
 	// otherwise be swallowed (response-encoding failures and the like).
 	// Nil logs to the standard logger.
 	ErrorLog func(error)
+	// Mempool tunes the sharded pool and its admission pipeline (shard
+	// count, per-sender slots and rate limits, byte budget). Zero-value
+	// limits are permissive — the node behaves like the single-lock
+	// pool. The clock (Mempool.Now) defaults to time.Now; the pool
+	// itself never reads the wall clock.
+	Mempool mempool.Config
 }
 
 // Node is a single in-process blockchain node.
@@ -134,7 +142,7 @@ type Node struct {
 	execMu  sync.Mutex
 	world   *contract.World
 	chain   *chain.Chain
-	pool    *txpool.Pool
+	pool    *mempool.Pool
 	workers int
 	runner  runtime.Runner
 	policy  txpool.Policy
@@ -199,7 +207,7 @@ type Node struct {
 type inflightEntry struct {
 	block chain.Block
 	// sel returns the block's calls to their arrival position on abort.
-	sel txpool.Selection
+	sel mempool.Selection
 	// snap is the world state before the block executed.
 	snap storage.Snapshot
 	// retries is the block's execution retry count, un-tallied on abort.
@@ -231,10 +239,14 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: state root: %w", err)
 	}
+	poolCfg := cfg.Mempool
+	if poolCfg.Now == nil {
+		poolCfg.Now = time.Now
+	}
 	n := &Node{
 		world:   cfg.World,
 		chain:   chain.New(root),
-		pool:    txpool.New(),
+		pool:    mempool.New(poolCfg),
 		workers: cfg.Workers,
 		runner:  cfg.Runner,
 		policy:  cfg.SelectionPolicy,
@@ -362,7 +374,9 @@ func (n *Node) openDurable(cfg Config, genesisRoot types.Hash) error {
 		return fmt.Errorf("node: recover pool: %w", err)
 	}
 	if len(calls) > 0 {
-		n.pool.SubmitAll(calls)
+		// Restored calls were admitted in a previous life; they re-enter
+		// through the trusted path, never re-run admission.
+		n.pool.SubmitAllTrusted(calls)
 	}
 
 	// Resume the snapshot cadence where the previous run left it: the
@@ -494,17 +508,20 @@ func (n *Node) Kill() {
 func (n *Node) Submit(call contract.Call) types.Hash {
 	id := wire.TxIDOf(call)
 	n.receipts.MarkPending(id)
-	n.pool.Submit(call)
+	n.pool.SubmitTrusted(call)
 	return id
 }
 
 // SubmitAll queues a batch of transactions atomically: no other
-// submitter's calls interleave inside the batch.
+// submitter's calls interleave inside the batch. Like Submit, this is
+// the trusted intake — admission control (dedup, caps, rate limits)
+// applies only to the API path (SubmitTx), because the node's own
+// batches may legitimately contain byte-identical calls.
 func (n *Node) SubmitAll(calls []contract.Call) {
 	for _, c := range calls {
 		n.receipts.MarkPending(wire.TxIDOf(c))
 	}
-	n.pool.SubmitAll(calls)
+	n.pool.SubmitAllTrusted(calls)
 }
 
 // recordDurable indexes a durable block's receipts and fans the block
@@ -609,13 +626,13 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 // restored and the batch requeued at its arrival position. Caller holds
 // execMu; the returned snapshot is the world state before the block (the
 // pipelined abort path restores it).
-func (n *Node) executeSeal(blockSize int) (txpool.Selection, miner.Result, storage.Snapshot, error) {
+func (n *Node) executeSeal(blockSize int) (mempool.Selection, miner.Result, storage.Snapshot, error) {
 	n.mu.Lock()
 	sel, err := n.pool.SelectBatch(n.policy, blockSize)
 	parent := n.chain.Head().Header
 	n.mu.Unlock()
 	if err != nil {
-		return txpool.Selection{}, miner.Result{}, storage.Snapshot{}, fmt.Errorf("node: select: %w", err)
+		return mempool.Selection{}, miner.Result{}, storage.Snapshot{}, fmt.Errorf("node: select: %w", err)
 	}
 
 	// Snapshot the world, execute outside n.mu, seal under it. execMu
@@ -628,7 +645,7 @@ func (n *Node) executeSeal(blockSize int) (txpool.Selection, miner.Result, stora
 		// The selection was destructive; a failed attempt must not lose
 		// the clients' transactions.
 		n.pool.RequeueBatch(sel)
-		return txpool.Selection{}, miner.Result{}, storage.Snapshot{}, fmt.Errorf("node: mine: %w", err)
+		return mempool.Selection{}, miner.Result{}, storage.Snapshot{}, fmt.Errorf("node: mine: %w", err)
 	}
 	return sel, res, snap, nil
 }
@@ -1088,6 +1105,10 @@ type Status struct {
 	// ChainBase is the oldest height the node still holds (non-zero on a
 	// fast-synced, pruned node).
 	ChainBase uint64 `json:"chainBase,omitempty"`
+	// Mempool is the sharded pool's admission accounting: cumulative
+	// verdict counters, evictions, byte footprint and per-shard
+	// occupancy.
+	Mempool mempool.StatsSnapshot `json:"mempool"`
 }
 
 // CurrentStatus snapshots node statistics. It never blocks behind an
@@ -1114,6 +1135,7 @@ func (n *Node) CurrentStatus() Status {
 	if n.prod != nil {
 		st.PipelineDepth = n.prod.Depth()
 	}
+	st.Mempool = n.pool.Stats()
 	if n.log != nil {
 		st.Persistent = true
 		st.DurableHeight = n.durableHeight.Load()

@@ -87,16 +87,12 @@ var ErrEmpty = errors.New("txpool: empty")
 // sorted by seq at all times: Submit appends increasing seqs, selection
 // removes entries without reordering, and every requeue path re-inserts
 // by seq — that invariant is what lets an aborted in-flight batch return
-// to exactly its original position relative to everything else.
+// to exactly its original position relative to everything else. The
+// embedded Entry carries the call plus the lazily-cached lock-hints
+// (see selection.go).
 type pending struct {
-	call contract.Call
-	seq  int64
-	// hints caches hintsOf(call) for the lock-hint policy: a deferred
-	// call is rescanned by every subsequent selection, and its static
-	// hints never change. Derived lazily on first scan (FIFO and spread
-	// pools never pay for it); dropped on selection, recomputed if the
-	// call is ever requeued.
-	hints []lockHint
+	Entry
+	seq int64
 }
 
 // Pool is a FIFO transaction queue with pluggable block selection.
@@ -109,21 +105,9 @@ type Pool struct {
 	// lock-hint policies scan for non-colliding transactions
 	// (window = factor * blockSize).
 	windowFactor int
-	// conflictScore counts observed speculative retries per (contract,
-	// function), fed back by the miner via ReportConflicts; the spread
-	// policy caps only functions with a positive score, so legitimately
-	// disjoint traffic (withdraw, vote from distinct senders) is never
-	// throttled. Scores decay geometrically every conflictDecayEvery
-	// reports and the map is capped at maxConflictEntries, so a pool under
-	// sustained traffic holds bounded memory and stale hot spots fade.
-	conflictScore map[funcHint]int
-	// reportedSinceDecay counts conflict reports since the last decay pass.
-	reportedSinceDecay int
-	// hintScore scores static lock-hints by conflict evidence: a hint both
-	// calls of a reported conflict pair share gets a point. Decays and is
-	// capped exactly like conflictScore (separate counters).
-	hintScore       map[lockHint]int
-	pairsSinceDecay int
+	// Scores is the engine's conflict feedback (see selection.go),
+	// guarded by mu like the queue.
+	Scores
 	// outstandingLow is a monotone floor under every sequence number ever
 	// handed out by SelectBatch (valid once hasOutstanding is set). The
 	// legacy Requeue places its entries strictly below it, so a
@@ -145,9 +129,8 @@ const maxConflictEntries = 1024
 // New returns an empty pool.
 func New() *Pool {
 	return &Pool{
-		windowFactor:  4,
-		conflictScore: make(map[funcHint]int),
-		hintScore:     make(map[lockHint]int),
+		windowFactor: 4,
+		Scores:       NewScores(),
 	}
 }
 
@@ -157,15 +140,7 @@ func New() *Pool {
 func (p *Pool) ReportConflicts(calls []contract.Call) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, c := range calls {
-		p.conflictScore[funcHint{contract: c.Contract, function: c.Function}]++
-	}
-	p.reportedSinceDecay += len(calls)
-	if p.reportedSinceDecay >= conflictDecayEvery {
-		p.reportedSinceDecay = 0
-		decayScores(p.conflictScore)
-	}
-	capScores(p.conflictScore)
+	p.Scores.AddConflicts(calls)
 }
 
 // ReportConflictPairs feeds back pairs of calls connected by a
@@ -177,31 +152,7 @@ func (p *Pool) ReportConflicts(calls []contract.Call) {
 func (p *Pool) ReportConflictPairs(pairs [][2]contract.Call) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, pr := range pairs {
-		a, b := hintsOf(pr[0]), hintsOf(pr[1])
-		shared := false
-		for _, ha := range a {
-			if !ha.refined {
-				continue // coarse hint handled below
-			}
-			for _, hb := range b {
-				if ha == hb {
-					p.hintScore[ha]++
-					shared = true
-				}
-			}
-		}
-		if !shared {
-			p.hintScore[coarseHint(pr[0])]++
-			p.hintScore[coarseHint(pr[1])]++
-		}
-	}
-	p.pairsSinceDecay += len(pairs)
-	if p.pairsSinceDecay >= conflictDecayEvery {
-		p.pairsSinceDecay = 0
-		decayScores(p.hintScore)
-	}
-	capScores(p.hintScore)
+	p.Scores.AddConflictPairs(pairs)
 }
 
 // decayScores halves every score, dropping zeroed entries.
@@ -250,7 +201,7 @@ func (p *Pool) hintEntries() int {
 func (p *Pool) Submit(call contract.Call) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.queue = append(p.queue, pending{call: call, seq: p.nextSeq})
+	p.queue = append(p.queue, pending{Entry: Entry{Call: call}, seq: p.nextSeq})
 	p.nextSeq++
 }
 
@@ -261,7 +212,7 @@ func (p *Pool) SubmitAll(calls []contract.Call) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, c := range calls {
-		p.queue = append(p.queue, pending{call: c, seq: p.nextSeq})
+		p.queue = append(p.queue, pending{Entry: Entry{Call: c}, seq: p.nextSeq})
 		p.nextSeq++
 	}
 }
@@ -303,7 +254,7 @@ func (p *Pool) SelectBatch(policy Policy, blockSize int) (Selection, error) {
 	}
 	sel := Selection{Calls: make([]contract.Call, len(taken)), seqs: make([]int64, len(taken))}
 	for i, pe := range taken {
-		sel.Calls[i] = pe.call
+		sel.Calls[i] = pe.Call
 		sel.seqs[i] = pe.seq
 		if !p.hasOutstanding || pe.seq < p.outstandingLow {
 			p.outstandingLow, p.hasOutstanding = pe.seq, true
@@ -336,7 +287,7 @@ func (p *Pool) RequeueBatch(sel Selection) {
 	// reordered within the block).
 	batch := make([]pending, len(sel.Calls))
 	for i := range sel.Calls {
-		batch[i] = pending{call: sel.Calls[i], seq: sel.seqs[i]}
+		batch[i] = pending{Entry: Entry{Call: sel.Calls[i]}, seq: sel.seqs[i]}
 	}
 	sortPending(batch)
 	p.mu.Lock()
@@ -395,7 +346,7 @@ func (p *Pool) Requeue(calls []contract.Call) {
 	}
 	pre := make([]pending, 0, len(calls)+len(p.queue))
 	for i, c := range calls {
-		pre = append(pre, pending{call: c, seq: base - int64(len(calls)) + int64(i)})
+		pre = append(pre, pending{Entry: Entry{Call: c}, seq: base - int64(len(calls)) + int64(i)})
 	}
 	// These seqs sit below anything in flight: they are the new floor.
 	p.outstandingLow, p.hasOutstanding = pre[0].seq, true
@@ -417,7 +368,7 @@ func (p *Pool) PendingCalls() []contract.Call {
 	defer p.mu.Unlock()
 	out := make([]contract.Call, len(p.queue))
 	for i, pe := range p.queue {
-		out[i] = pe.call
+		out[i] = pe.Call
 	}
 	return out
 }
@@ -480,7 +431,8 @@ func hintsOf(c contract.Call) []lockHint {
 
 // Select removes and returns up to blockSize transactions... (see
 // SelectBatch; this section hosts the per-policy selectors, which run
-// under p.mu and mutate p.queue).
+// under p.mu and mutate p.queue; the window scans themselves live in
+// selection.go and are shared with the sharded mempool).
 
 func (p *Pool) selectFIFO(blockSize int) []pending {
 	n := blockSize
@@ -493,97 +445,31 @@ func (p *Pool) selectFIFO(blockSize int) []pending {
 }
 
 func (p *Pool) selectSpread(blockSize int) []pending {
-	window := blockSize * p.windowFactor
-	if window > len(p.queue) {
-		window = len(p.queue)
-	}
-	funcCap := blockSize / 8
-	if funcCap < 1 {
-		funcCap = 1
-	}
-	seenSender := make(map[senderHint]bool, blockSize)
-	funcCount := make(map[funcHint]int, blockSize)
-	out := make([]pending, 0, blockSize)
-	taken := make([]bool, window)
-	for i := 0; i < window && len(out) < blockSize; i++ {
-		c := p.queue[i].call
-		sh := senderHint{contract: c.Contract, sender: c.Sender}
-		fh := funcHint{contract: c.Contract, function: c.Function}
-		if seenSender[sh] {
-			continue
-		}
-		if p.conflictScore[fh] > 0 && funcCount[fh] >= funcCap {
-			continue
-		}
-		seenSender[sh] = true
-		funcCount[fh]++
-		taken[i] = true
-		out = append(out, p.queue[i])
-	}
-	out = p.fillAndCompact(blockSize, window, taken, out)
-	return out
+	return p.takeWindow(PolicySpread, blockSize)
 }
 
-// selectLockHint scans the window taking calls in arrival order, deferring
-// a call only when one of its hints has positive conflict evidence AND is
-// already claimed by a call chosen for this block. Coarse hints use a
-// generous per-block cap instead of exclusivity (a hot function is not a
-// single lock); refined hints are exclusive (one hot sender / hot key per
-// block), which is exactly what keeps consecutive pipelined blocks off
-// each other's hot locks.
 func (p *Pool) selectLockHint(blockSize int) []pending {
+	return p.takeWindow(PolicyLockHint, blockSize)
+}
+
+// takeWindow runs the shared window scan over the queue's head
+// (window = windowFactor * blockSize), removes the chosen entries and
+// returns them in pick order. The scan caches lock-hints directly on
+// the queue entries, so deferred calls keep their hints for the next
+// selection.
+func (p *Pool) takeWindow(policy Policy, blockSize int) []pending {
 	window := blockSize * p.windowFactor
 	if window > len(p.queue) {
 		window = len(p.queue)
 	}
-	coarseCap := blockSize / 8
-	if coarseCap < 1 {
-		coarseCap = 1
+	win := make([]*Entry, window)
+	for i := range win {
+		win[i] = &p.queue[i].Entry
 	}
-	claimed := make(map[lockHint]bool, blockSize)
-	coarseCount := make(map[lockHint]int, blockSize)
-	out := make([]pending, 0, blockSize)
+	idx := SelectWindow(policy, blockSize, win, &p.Scores)
+	out := make([]pending, 0, len(idx))
 	taken := make([]bool, window)
-scan:
-	for i := 0; i < window && len(out) < blockSize; i++ {
-		if p.queue[i].hints == nil {
-			p.queue[i].hints = hintsOf(p.queue[i].call)
-		}
-		hints := p.queue[i].hints
-		for _, h := range hints {
-			if p.hintScore[h] <= 0 {
-				continue
-			}
-			if !h.refined {
-				if coarseCount[h] >= coarseCap {
-					continue scan
-				}
-			} else if claimed[h] {
-				continue scan
-			}
-		}
-		for _, h := range hints {
-			if !h.refined {
-				coarseCount[h]++
-			} else {
-				claimed[h] = true
-			}
-		}
-		taken[i] = true
-		out = append(out, p.queue[i])
-	}
-	out = p.fillAndCompact(blockSize, window, taken, out)
-	return out
-}
-
-// fillAndCompact backfills an under-full block FIFO-style from the
-// window's deferred entries (blocks never run empty while work is
-// queued), then removes every taken entry from the queue.
-func (p *Pool) fillAndCompact(blockSize, window int, taken []bool, out []pending) []pending {
-	for i := 0; i < window && len(out) < blockSize; i++ {
-		if taken[i] {
-			continue
-		}
+	for _, i := range idx {
 		taken[i] = true
 		out = append(out, p.queue[i])
 	}

@@ -59,6 +59,15 @@ const (
 	// so a feedback-informed miner spreads them across blocks while the
 	// cold traffic fills every block to capacity.
 	KindHotCold
+	// KindFlooder is an adversarial extension workload: every transaction
+	// is a token transfer from ONE sender to distinct recipients — the
+	// shape of a spam flood against the ingest path. Under admission
+	// control (internal/mempool) the per-sender slot cap and rate limit
+	// throttle the whole workload to one sender's allowance; under
+	// execution every call contends on the flooder's balance, so it also
+	// degenerates the engines to serial. ConflictPercent is ignored — the
+	// single sender IS the conflict.
+	KindFlooder
 )
 
 // String implements fmt.Stringer; the names match the paper's benchmarks.
@@ -78,6 +87,8 @@ func (k Kind) String() string {
 		return "Delegation"
 	case KindHotCold:
 		return "HotCold"
+	case KindFlooder:
+		return "Flooder"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -90,7 +101,7 @@ func Kinds() []Kind {
 
 // AllKinds lists every workload, the paper's four plus the extensions.
 func AllKinds() []Kind {
-	return append(Kinds(), KindToken, KindDelegation, KindHotCold)
+	return append(Kinds(), KindToken, KindDelegation, KindHotCold, KindFlooder)
 }
 
 // ParseKind parses a workload name as commands accept it: the String()
@@ -171,6 +182,8 @@ func Generate(p Params) (*Workload, error) {
 		calls, err = genDelegation(world, p, 0, p.Transactions, p.ConflictPercent)
 	case KindHotCold:
 		calls, err = genHotCold(world, p, 0, p.Transactions, p.ConflictPercent)
+	case KindFlooder:
+		calls, err = genFlooder(world, p, 0, p.Transactions)
 	case KindMixed:
 		calls, err = genMixed(world, p)
 	default:
@@ -482,6 +495,33 @@ func genHotCold(world *contract.World, p Params, lane, n, conflictPct int) ([]co
 		calls = append(calls, contract.Call{
 			Sender: hotAccounts[from], Contract: addr, Function: "transfer",
 			Args: []any{hotAccounts[to], uint64(3)}, GasLimit: p.GasLimit,
+		})
+	}
+	return calls, nil
+}
+
+// genFlooder builds the Flooder extension workload: n token transfers,
+// all from one funded flooder account to distinct recipients. Every call
+// is unique (distinct recipient → distinct content-derived TxID), so the
+// flood defeats naive content dedup; only per-sender admission limits
+// contain it.
+func genFlooder(world *contract.World, p Params, lane, n int) ([]contract.Call, error) {
+	addr := contractAddr(KindFlooder, lane)
+	issuer := actorAddr(p.Seed, lane, 999_992)
+	flooder := actorAddr(p.Seed, lane, 999_991)
+	token, err := contracts.NewToken(world, addr, issuer, 1_000_000_000)
+	if err != nil {
+		return nil, err
+	}
+	if err := token.SeedBalance(world, flooder, uint64(n)*10); err != nil {
+		return nil, err
+	}
+	calls := make([]contract.Call, 0, n)
+	for i := 0; i < n; i++ {
+		to := actorAddr(p.Seed, lane, 700_000+i)
+		calls = append(calls, contract.Call{
+			Sender: flooder, Contract: addr, Function: "transfer",
+			Args: []any{to, uint64(3)}, GasLimit: p.GasLimit,
 		})
 	}
 	return calls, nil
