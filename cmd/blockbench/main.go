@@ -16,6 +16,7 @@
 //	blockbench -pipeline 4         # pipeline sweep: blocks/s at depths 1,2,4 under WAL-synced persistence
 //	blockbench -receipts           # receipt latency: submit → durable /v1 receipt, depths 1 and 4
 //	blockbench -slo                # hot-path SLO sweep; writes BENCH_hotpath.json for cmd/perfci
+//	blockbench -sync               # catch-up sweep: serial vs staged import; writes BENCH_sync.json
 //	blockbench -pipeline 2 -blocks 8  # short smoke: depths 1,2 over 8 blocks
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
@@ -81,6 +82,8 @@ func run() error {
 		blocksF   = flag.Int("blocks", 0, "blocks per point for the pipeline sweep (0 = default 8)")
 		sloF      = flag.Bool("slo", false, "run the hot-path SLO sweep (wall-clock codec + engine metrics) and write the JSON artifact")
 		sloOut    = flag.String("slojson", "BENCH_hotpath.json", "output path for the -slo JSON artifact")
+		syncF     = flag.Bool("sync", false, "run the catch-up sync sweep (serial vs staged import pipeline) and write the JSON artifact")
+		syncOut   = flag.String("syncjson", "BENCH_sync.json", "output path for the -sync JSON artifact")
 		admitF    = flag.Bool("admission", false, "run the mempool admission sweep (1M-sender ingest + adversarial flooder) and write the JSON artifact")
 		admitOut  = flag.String("admissionjson", "BENCH_admission.json", "output path for the -admission JSON artifact")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
@@ -88,7 +91,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF && !*admitF
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF && !*syncF && !*admitF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -151,6 +154,37 @@ func run() error {
 			return fmt.Errorf("close %s: %w", *sloOut, err)
 		}
 		fmt.Printf("\nwrote %s\n", *sloOut)
+		return nil
+	}
+
+	if *syncF {
+		ycfg := bench.SyncConfig{Workers: *workers}
+		if narrowEngines != nil {
+			ycfg.Engine = engKind
+		}
+		if *quick {
+			ycfg.Blocks, ycfg.BlockSize = 16, 16
+		}
+		if *blocksF > 0 {
+			ycfg.Blocks = *blocksF
+		}
+		report, err := bench.SweepSync(ycfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteSyncTable(os.Stdout, report)
+		f, err := os.Create(*syncOut)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *syncOut, err)
+		}
+		if err := bench.WriteSyncJSON(f, report); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", *syncOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *syncOut, err)
+		}
+		fmt.Printf("wrote %s\n", *syncOut)
 		return nil
 	}
 

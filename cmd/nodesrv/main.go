@@ -94,6 +94,7 @@ func run() error {
 		defaultGas = flag.Uint64("default-gas", api.DefaultGasLimit, "gas limit assigned to transactions that leave it unset")
 		blockSize  = flag.Int("blocksize", api.DefaultBlockSize, "default block size for mine requests that leave it unset")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty = off)")
+		importMode = flag.String("import-mode", "off", `staged parallel import rollout: "off", "shadow" or "on"`)
 
 		mpShards       = flag.Int("mempool-shards", 0, "mempool shard count (0 = default 16)")
 		mpSenderSlots  = flag.Int("mempool-sender-slots", 0, "max queued transactions per sender (0 = unlimited)")
@@ -112,6 +113,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	impMode, err := node.ParseImportMode(*importMode)
+	if err != nil {
+		return err
+	}
 
 	world, err := demoWorld()
 	if err != nil {
@@ -125,6 +130,7 @@ func run() error {
 		MaxGasLimit:      *maxGas,
 		DefaultGasLimit:  *defaultGas,
 		DefaultBlockSize: *blockSize,
+		ImportMode:       impMode,
 		Mempool: mempool.Config{
 			Shards:          *mpShards,
 			PerSenderSlots:  *mpSenderSlots,

@@ -26,8 +26,12 @@
 // abort), node (the assembled node), api (the versioned /v1 client API:
 // typed wire schema, durable transaction receipts, SSE event streams,
 // server middleware, with api/wire the schema and api/client the Go
-// SDK — see docs/API.md), cluster (multi-node propagation over the SDK,
-// durable-ordered publish, catch-up sync and snapshot fast-sync),
+// SDK — see docs/API.md), importer (the staged catch-up import
+// pipeline: windowed range prefetch, parallel stateless validation,
+// strictly height-ordered commit with deterministic error election),
+// cluster (multi-node propagation over the SDK,
+// durable-ordered publish, catch-up sync — serial or staged through
+// importer — and snapshot fast-sync),
 // workload/stats/bench (the evaluation harness), analysis (the chainvet
 // static-analysis suite that machine-checks the determinism, locking,
 // pooling and codec invariants above; cmd/chainvet runs it standalone

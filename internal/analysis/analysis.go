@@ -107,10 +107,13 @@ func (p *Pass) SourceFiles() []*ast.File {
 // packages where detmap and walltime bind. The mempool qualifies
 // because its selection order feeds block contents: admission verdicts
 // and queue order must be deterministic in the submission sequence
-// (the clock is injected, never read).
+// (the clock is injected, never read). The importer qualifies because
+// its verdict election must depend only on block heights — a clock or
+// iteration-order dependence could make two followers elect different
+// first errors for the same bad window.
 func ConsensusCritical(base string) bool {
 	switch base {
-	case "engine", "stm", "sched", "chain", "validator", "miner", "mempool":
+	case "engine", "stm", "sched", "chain", "validator", "miner", "mempool", "importer":
 		return true
 	}
 	return false

@@ -388,6 +388,50 @@ func (c *Client) Block(ctx context.Context, height uint64) (chain.Block, error) 
 	return b, nil
 }
 
+// Blocks fetches up to count consecutive durable blocks starting at
+// height from — the range endpoint (GET /v1/blocks?from=&count=) that
+// amortizes per-block round-trips during catch-up sync. The server
+// streams self-delimiting flat-codec frames and may answer short (it
+// serves the durable prefix it has; counts above the server's cap are
+// clamped); the returned slice is in height order, never empty on
+// success. Old servers without the route answer a plain 404/405 —
+// callers fall back to Block.
+func (c *Client) Blocks(ctx context.Context, from uint64, count int) ([]chain.Block, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("api client: blocks: count %d", count)
+	}
+	resp, err := c.do(ctx, true, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/v1/blocks?from=%d&count=%d", c.base, from, count), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	br := bufio.NewReader(io.LimitReader(resp.Body, int64(count)*chain.MaxWireBlock))
+	var blocks []chain.Block
+	for len(blocks) < count {
+		if _, err := br.Peek(1); err == io.EOF {
+			break
+		}
+		b, err := chain.DecodeBlock(br)
+		if err != nil {
+			return nil, fmt.Errorf("api client: blocks from %d: frame %d: %w", from, len(blocks), err)
+		}
+		if want := from + uint64(len(blocks)); b.Header.Number != want {
+			return nil, fmt.Errorf("api client: blocks from %d: got height %d, want %d", from, b.Header.Number, want)
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("api client: blocks from %d: empty response", from)
+	}
+	return blocks, nil
+}
+
 // SendBlock ships a sealed block for import. A 2xx answer — including
 // the node reporting it already knew the block — is success. Never
 // retried here; delivery strategies own their retries.

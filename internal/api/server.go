@@ -170,6 +170,7 @@ func NewServer(cfg Config) *Server {
 	s.route("POST /v1/mine", s.handleMine, true)
 	s.route("POST /v1/blocks", s.handleImportBlock, true)
 	s.route("GET /v1/blocks/{height}", s.handleGetBlock, false)
+	s.route("GET /v1/blocks", s.handleGetBlockRange, false)
 	s.route("GET /v1/head", s.handleHead, true)
 	s.route("GET /v1/status", s.handleStatus, true)
 	s.route("GET /v1/state/{address}", s.handleBalance, true)
@@ -467,6 +468,68 @@ func (s *Server) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
 	_, _ = w.Write(raw)
+}
+
+// MaxRangeBlocks caps GET /v1/blocks?from=&count= — the most blocks one
+// range fetch returns regardless of the requested count.
+const MaxRangeBlocks = 64
+
+// handleGetBlockRange is GET /v1/blocks?from=&count=: up to count durable
+// blocks starting at height from, streamed as concatenated self-delimiting
+// flat-codec frames (each decodable with chain.DecodeBlock). The response
+// may be short — the node serves the durable prefix it has — but never
+// empty: a missing starting height answers 404, so a catch-up client can
+// distinguish "nothing there" from "partial". Counts above MaxRangeBlocks
+// are clamped, not rejected, keeping the bound server-owned.
+func (s *Server) handleGetBlockRange(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Errorf("range fetch: bad from %q", q.Get("from")))
+		return
+	}
+	count, err := strconv.Atoi(q.Get("count"))
+	if err != nil || count <= 0 {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Errorf("range fetch: bad count %q", q.Get("count")))
+		return
+	}
+	if count > MaxRangeBlocks {
+		count = MaxRangeBlocks
+	}
+	var frames [][]byte
+	total := 0
+	for i := 0; i < count; i++ {
+		h := from + uint64(i)
+		if h < from {
+			break // uint64 wraparound on a huge from
+		}
+		block, ok := s.cfg.Backend.DurableBlock(h)
+		if !ok {
+			break
+		}
+		raw, err := chain.MarshalBlock(block)
+		if err != nil {
+			s.logErr(fmt.Errorf("api: encode block %d: %w", h, err))
+			s.fail(w, http.StatusInternalServerError, wire.CodeInternal, err)
+			return
+		}
+		frames = append(frames, raw)
+		total += len(raw)
+	}
+	if len(frames) == 0 {
+		s.fail(w, http.StatusNotFound, wire.CodeBlockNotFound,
+			fmt.Errorf("no durable block at height %d", from))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(total))
+	for _, raw := range frames {
+		if _, err := w.Write(raw); err != nil {
+			return
+		}
+	}
 }
 
 // handleHead is GET /v1/head: the durable chain tip.

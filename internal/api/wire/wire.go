@@ -406,6 +406,12 @@ type Status struct {
 	WalGroupCommits int64  `json:"walGroupCommits,omitempty"`
 	WalMaxGroup     int    `json:"walMaxGroup,omitempty"`
 	ChainBase       uint64 `json:"chainBase,omitempty"`
+	// ImportMode is the staged-import rollout switch (off|shadow|on;
+	// empty from pre-pipeline servers); ImportDivergences counts
+	// shadow-mode verdict disagreements between the parallel stateless
+	// phase and the serial recomputation — the shadow→on promotion gate.
+	ImportMode        string `json:"importMode,omitempty"`
+	ImportDivergences int64  `json:"importDivergences,omitempty"`
 	// Mempool reports the sharded pool's admission counters and
 	// occupancy (nil from pre-admission servers).
 	Mempool *MempoolStatus `json:"mempool,omitempty"`

@@ -17,6 +17,7 @@ import (
 	rt "contractstm/internal/runtime"
 	"contractstm/internal/txpool"
 	"contractstm/internal/types"
+	"contractstm/internal/validator"
 	"contractstm/internal/workload"
 )
 
@@ -236,6 +237,39 @@ func RunSLO(cfg SLOConfig) (HotpathReport, error) {
 			}
 		})
 		report.Metrics = append(report.Metrics, metricOf(name, br))
+	}
+
+	// Follower import hot path: one full block validation per op — the
+	// stateless phase (commitment verification + schedule-graph
+	// construction) plus the stateful fork-join replay with receipt and
+	// state-root checks. This is the per-block cost the staged import
+	// pipeline's sequential commit stage pays, so a regression here slows
+	// every follower's catch-up regardless of pipeline tuning.
+	{
+		wl, err := workload.Generate(params)
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: generate: %w", err)
+		}
+		eng, err := engine.New(engine.KindOCC)
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: %w", err)
+		}
+		parent := chain.GenesisHeader(types.HashString("slo-genesis"))
+		res, err := mineOnce(eng, wl, parent, engineOptions(cfg.Workers))
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: import block: %w", err)
+		}
+		vcfg := validator.Config{Workers: cfg.Workers}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				wl.Reset()
+				if _, err := validator.Validate(rt.NewSimRunner(), wl.World, res.Block, vcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Metrics = append(report.Metrics, metricOf("import/validate", br))
 	}
 
 	// Admission hot path: one full admission-pipeline pass per op (TxID

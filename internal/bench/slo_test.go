@@ -81,6 +81,7 @@ func TestThresholdFileMatchesSweep(t *testing.T) {
 		"engine/serial/mine":      true,
 		"engine/speculative/mine": true,
 		"engine/occ/mine":         true,
+		"import/validate":         true,
 		"mempool/admit":           true,
 	}
 	for _, c := range th.Checks {

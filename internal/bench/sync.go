@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"contractstm/internal/cluster"
+	"contractstm/internal/contract"
+	"contractstm/internal/engine"
+	"contractstm/internal/importer"
+	"contractstm/internal/node"
+	"contractstm/internal/types"
+	"contractstm/internal/workload"
+)
+
+// SyncConfig tunes the catch-up import sweep: one miner seals a chain,
+// then fresh followers sync it over HTTP — serially (the pre-pipeline
+// path) and through the staged import pipeline at several Phase A worker
+// counts. The sweep answers the rollout question directly: how much
+// faster does a late joiner catch up, and does shadow mode stay silent?
+type SyncConfig struct {
+	// Kind selects the workload (default Token).
+	Kind workload.Kind
+	// Blocks is the catch-up chain length (default 64).
+	Blocks int
+	// BlockSize is transactions per block (default 48).
+	BlockSize int
+	// ConflictPercent is the workload's data-conflict percentage
+	// (default SweepConflictFixed; negative = conflict-free).
+	ConflictPercent int
+	// Workers is every node's execution pool size (default 3).
+	Workers int
+	// ImportWorkers is the staged pipeline's Phase A worker axis
+	// (default 1, 2, 4).
+	ImportWorkers []int
+	// Engine selects the execution engine (default OCC).
+	Engine engine.Kind
+	// Seed makes workload generation deterministic (default DefaultSeed).
+	Seed int64
+	// LinkRTT is the simulated round-trip time to the peer, injected at
+	// the HTTP transport (default 2ms; negative = none). The miner runs
+	// in-process behind a loopback listener, which understates a real
+	// deployment: the serial path pays one round trip of idle wire time
+	// per block, the staged path batches and prefetches them, and over
+	// loopback both cost ~nothing. A small fixed RTT restores the cost
+	// the one-at-a-time loop actually pays against a peer one network
+	// hop away. Reported in the table and the JSON artifact.
+	LinkRTT time.Duration
+}
+
+// WithDefaults returns c with every unset field at its default.
+func (c SyncConfig) WithDefaults() SyncConfig {
+	if c.Kind == 0 {
+		c.Kind = workload.KindToken
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 64
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 48
+	}
+	if c.ConflictPercent == 0 {
+		c.ConflictPercent = SweepConflictFixed
+	} else if c.ConflictPercent < 0 {
+		c.ConflictPercent = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if len(c.ImportWorkers) == 0 {
+		c.ImportWorkers = []int{1, 2, 4}
+	}
+	if c.Engine == 0 {
+		c.Engine = engine.KindOCC
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.LinkRTT == 0 {
+		c.LinkRTT = 2 * time.Millisecond
+	} else if c.LinkRTT < 0 {
+		c.LinkRTT = 0
+	}
+	return c
+}
+
+// latencyTransport injects a fixed round-trip delay before every
+// request, modeling the wire between follower and peer. The delay is
+// pure sleep: on the staged path it overlaps with commit-side compute
+// exactly as real network latency would.
+type latencyTransport struct {
+	rtt  time.Duration
+	base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *latencyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.rtt > 0 {
+		timer := time.NewTimer(t.rtt)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// SyncPoint is one measured catch-up: a fresh follower importing the
+// full chain from the miner's HTTP endpoint.
+type SyncPoint struct {
+	// Mode is "serial" (ImportOff, one block at a time) or "staged"
+	// (ImportOn through the pipeline).
+	Mode string `json:"mode"`
+	// ImportWorkers is the staged pipeline's Phase A pool size (0 on the
+	// serial point).
+	ImportWorkers int `json:"import_workers"`
+	// Elapsed is wall-clock for the whole catch-up.
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	TxsPerSec    float64 `json:"txs_per_sec"`
+	// SpeedupVsSerial is this point's blocks/s over the serial point's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// SyncReport is the BENCH_sync.json artifact.
+type SyncReport struct {
+	GoVersion       string `json:"go_version"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
+	Engine          string `json:"engine"`
+	Blocks          int    `json:"blocks"`
+	BlockSize       int    `json:"block_size"`
+	ConflictPercent int    `json:"conflict_percent"`
+	Workers         int    `json:"workers"`
+	// LinkRTTMs is the simulated per-request round-trip time to the
+	// peer, in milliseconds (see SyncConfig.LinkRTT).
+	LinkRTTMs float64     `json:"link_rtt_ms"`
+	Points    []SyncPoint `json:"points"`
+	// ShadowDivergences is the verdict-divergence count from the shadow
+	// parity pass (a full catch-up in shadow mode); any non-zero value
+	// means the parallel stateless phase disagreed with the serial
+	// recomputation somewhere — the shadow→on promotion gate fails.
+	ShadowDivergences int64 `json:"shadow_divergences"`
+	// SpeedupAt4 is the staged-at-4-workers point's speedup over serial
+	// (0 when 4 is not on the axis) — the headline rollout number.
+	SpeedupAt4 float64 `json:"speedup_at_4_workers"`
+}
+
+// syncFollower builds a fresh follower on world w and times a full
+// catch-up against the miner's URL.
+func syncFollower(w *workloadWorld, url string, mode node.ImportMode, workers, execWorkers int, rtt time.Duration) (time.Duration, int64, error) {
+	follower, err := node.New(node.Config{World: w.world, Workers: execWorkers, Engine: w.engine, ImportMode: mode})
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: sync follower: %w", err)
+	}
+	hc := &http.Client{Transport: &latencyTransport{rtt: rtt, base: http.DefaultTransport}}
+	peer := cluster.NewPeer(url, hc)
+	start := time.Now()
+	imported, err := cluster.SyncWith(context.Background(), follower, peer, importer.Config{Workers: workers})
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: sync (%s): %w", mode, err)
+	}
+	if imported != w.blocks {
+		return 0, 0, fmt.Errorf("bench: sync (%s) imported %d blocks, want %d", mode, imported, w.blocks)
+	}
+	if follower.Head().Header.Hash() != w.head {
+		return 0, 0, fmt.Errorf("bench: sync (%s) follower head diverged", mode)
+	}
+	return elapsed, follower.ImportDivergences(), nil
+}
+
+// workloadWorld bundles one follower genesis with the sweep's chain facts.
+type workloadWorld struct {
+	world  *contract.World
+	engine engine.Kind
+	blocks int
+	head   types.Hash
+}
+
+// SweepSync mines the catch-up chain once and measures every point:
+// serial, staged per worker count, and a shadow parity pass.
+func SweepSync(cfg SyncConfig) (SyncReport, error) {
+	cfg = cfg.WithDefaults()
+	report := SyncReport{
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Engine:          cfg.Engine.String(),
+		Blocks:          cfg.Blocks,
+		BlockSize:       cfg.BlockSize,
+		ConflictPercent: cfg.ConflictPercent,
+		Workers:         cfg.Workers,
+		LinkRTTMs:       float64(cfg.LinkRTT) / float64(time.Millisecond),
+	}
+	totalTxs := cfg.Blocks * cfg.BlockSize
+	// One world per follower point (serial + each staged count + shadow)
+	// plus the miner's; all identical genesis.
+	points := 2 + len(cfg.ImportWorkers)
+	worlds, calls, err := cluster.GenerateWorlds(workload.Params{
+		Kind: cfg.Kind, Transactions: totalTxs,
+		ConflictPercent: cfg.ConflictPercent, Seed: cfg.Seed,
+	}, points+1)
+	if err != nil {
+		return SyncReport{}, fmt.Errorf("bench: sync workload: %w", err)
+	}
+
+	cl, err := cluster.New(cluster.Config{Worlds: worlds[:1], Engine: cfg.Engine, Workers: cfg.Workers})
+	if err != nil {
+		return SyncReport{}, fmt.Errorf("bench: sync cluster: %w", err)
+	}
+	defer cl.Close()
+	miner := cl.Node(0)
+	miner.SubmitAll(calls)
+	for b := 0; b < cfg.Blocks; b++ {
+		if _, err := miner.MineOne(cfg.BlockSize); err != nil {
+			return SyncReport{}, fmt.Errorf("bench: sync mine block %d: %w", b+1, err)
+		}
+	}
+	head := miner.Head().Header.Hash()
+	url := cl.URL(0)
+	next := 1
+
+	measure := func(mode node.ImportMode, importWorkers int) (SyncPoint, int64, error) {
+		w := &workloadWorld{world: worlds[next], engine: cfg.Engine, blocks: cfg.Blocks, head: head}
+		next++
+		elapsed, div, err := syncFollower(w, url, mode, importWorkers, cfg.Workers, cfg.LinkRTT)
+		if err != nil {
+			return SyncPoint{}, 0, err
+		}
+		pt := SyncPoint{Mode: "staged", ImportWorkers: importWorkers, ElapsedNs: elapsed.Nanoseconds()}
+		if mode == node.ImportOff {
+			pt.Mode, pt.ImportWorkers = "serial", 0
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			pt.BlocksPerSec = float64(cfg.Blocks) / s
+			pt.TxsPerSec = float64(totalTxs) / s
+		}
+		return pt, div, nil
+	}
+
+	serial, _, err := measure(node.ImportOff, 0)
+	if err != nil {
+		return SyncReport{}, err
+	}
+	serial.SpeedupVsSerial = 1
+	report.Points = append(report.Points, serial)
+
+	for _, iw := range cfg.ImportWorkers {
+		pt, _, err := measure(node.ImportOn, iw)
+		if err != nil {
+			return SyncReport{}, err
+		}
+		if serial.BlocksPerSec > 0 {
+			pt.SpeedupVsSerial = pt.BlocksPerSec / serial.BlocksPerSec
+		}
+		if iw == 4 {
+			report.SpeedupAt4 = pt.SpeedupVsSerial
+		}
+		report.Points = append(report.Points, pt)
+	}
+
+	// Shadow parity pass: full catch-up with both paths running; the
+	// divergence counter is the promotion gate, not the timing.
+	_, div, err := measure(node.ImportShadow, 4)
+	if err != nil {
+		return SyncReport{}, err
+	}
+	report.ShadowDivergences = div
+	return report, nil
+}
+
+// WriteSyncJSON writes the report as indented JSON (the CI artifact).
+func WriteSyncJSON(w io.Writer, r SyncReport) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadSyncReport decodes a BENCH_sync.json artifact.
+func ReadSyncReport(r io.Reader) (SyncReport, error) {
+	var report SyncReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return SyncReport{}, fmt.Errorf("bench: sync report: %w", err)
+	}
+	return report, nil
+}
+
+// WriteSyncTable renders the sweep for humans.
+func WriteSyncTable(w io.Writer, r SyncReport) {
+	fmt.Fprintf(w, "Catch-up sync sweep [%s]: %d blocks × %d txs, %d%% conflict, %.1fms link RTT, %s GOMAXPROCS=%d\n",
+		r.Engine, r.Blocks, r.BlockSize, r.ConflictPercent, r.LinkRTTMs, r.GoVersion, r.GOMAXPROCS)
+	fmt.Fprintf(w, "  %-8s %-14s %-12s %-12s %-12s %-8s\n",
+		"mode", "import-workers", "elapsed", "blocks/s", "txs/s", "speedup")
+	for _, p := range r.Points {
+		iw := "-"
+		if p.Mode == "staged" {
+			iw = fmt.Sprintf("%d", p.ImportWorkers)
+		}
+		fmt.Fprintf(w, "  %-8s %-14s %-12s %-12.1f %-12.1f %-8.2f\n",
+			p.Mode, iw, time.Duration(p.ElapsedNs).Round(time.Millisecond), p.BlocksPerSec, p.TxsPerSec, p.SpeedupVsSerial)
+	}
+	fmt.Fprintf(w, "  shadow parity: %d verdict divergences\n\n", r.ShadowDivergences)
+}

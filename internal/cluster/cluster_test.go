@@ -231,6 +231,40 @@ func TestCatchUpSync(t *testing.T) {
 	}
 }
 
+// TestSyncCancelledBeforeFirstFetch: a sync whose context is already
+// cancelled must stop before the initial head fetch — zero requests on
+// the wire — and propagate the cancellation cause, not a bare
+// context.Canceled.
+func TestSyncCancelledBeforeFirstFetch(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "must not be reached", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	worlds, _ := newClusterWorlds(t, 1, 4)
+	n, err := node.New(node.Config{World: worlds[0], Workers: 1})
+	if err != nil {
+		t.Fatalf("node.New: %v", err)
+	}
+
+	cause := errors.New("operator aborted the sync")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+
+	imported, err := Sync(ctx, n, NewPeer(srv.URL, srv.Client()))
+	if !errors.Is(err, cause) {
+		t.Fatalf("Sync err = %v, want the cancellation cause %v", err, cause)
+	}
+	if imported != 0 {
+		t.Fatalf("imported = %d, want 0", imported)
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("cancelled sync still made %d requests", got)
+	}
+}
+
 // TestSyncDetectsDivergence lets two nodes mine different blocks at the
 // same height; syncing either from the other must fail with ErrDiverged
 // and leave both chains untouched.

@@ -129,6 +129,24 @@ func (p *Peer) Block(ctx context.Context, height uint64) (chain.Block, error) {
 	return b, nil
 }
 
+// Blocks fetches up to count consecutive blocks starting at from — the
+// range endpoint that amortizes catch-up round-trips. The result may be
+// short (the peer serves what it has durable); a missing starting height
+// maps to ErrNoBlock like the single-block fetch. Old peers without the
+// route answer an error here — the import pipeline falls back to Block,
+// which also owns the canonical fetch-error messages.
+func (p *Peer) Blocks(ctx context.Context, from uint64, count int) ([]chain.Block, error) {
+	bs, err := p.c.Blocks(ctx, from, count)
+	if err != nil {
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound && ae.Code == wire.CodeBlockNotFound {
+			return nil, fmt.Errorf("%w %d (%s)", ErrNoBlock, from, p.URL())
+		}
+		return nil, fmt.Errorf("cluster: blocks [%d,+%d): %w", from, count, peerErr(err))
+	}
+	return bs, nil
+}
+
 // Snapshot fetches the peer's current state checkpoint: the head header
 // plus encoded world state. The decode path verifies the frame checksum;
 // the *claims* in the checkpoint are verified by node.InstallSnapshot

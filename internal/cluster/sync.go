@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"contractstm/internal/chain"
+	"contractstm/internal/importer"
 	"contractstm/internal/node"
 )
 
@@ -58,17 +59,35 @@ func FastSync(ctx context.Context, n *node.Node, p *Peer) (FastSyncResult, error
 
 // Sync brings n up to date with the peer: while the peer's head is ahead,
 // fetch each missing height in order and import it through the node's
-// validator-gated AcceptBlock. It returns how many blocks were imported.
+// validator-gated import path. It returns how many blocks were imported.
 //
 // The loop re-reads the peer's head after each pass, so blocks mined
 // while catching up are picked up too; it terminates when the heads agree
-// (same height, same hash), the peer falls behind, or anything fails.
+// (same height, same hash), the peer falls behind, the context is
+// cancelled (context.Cause is propagated, checked before the first fetch),
+// or anything fails.
+//
+// How the catch-up gap is imported depends on the node's import mode:
+// ImportOff walks it one block at a time through the serial AcceptBlock;
+// shadow and on run the staged pipeline (internal/importer) — windowed
+// range prefetch, parallel stateless validation, strictly sequential
+// commit — with default sizing. SyncWith exposes the pipeline knobs.
 //
 // Divergence — the peer committing a different block at a height n also
 // holds — is detected both from head comparison and from import-time fork
 // or bad-parent rejections, and reported as ErrDiverged.
 func Sync(ctx context.Context, n *node.Node, p *Peer) (imported int, err error) {
+	return SyncWith(ctx, n, p, importer.Config{})
+}
+
+// SyncWith is Sync with explicit staged-pipeline sizing (worker pool,
+// prefetch window, range-fetch batch); icfg is ignored on an ImportOff
+// node, which syncs serially.
+func SyncWith(ctx context.Context, n *node.Node, p *Peer, icfg importer.Config) (imported int, err error) {
 	for {
+		if ctx.Err() != nil {
+			return imported, context.Cause(ctx)
+		}
 		remote, err := p.Head(ctx)
 		if err != nil {
 			return imported, err
@@ -89,25 +108,59 @@ func Sync(ctx context.Context, n *node.Node, p *Peer) (imported int, err error) 
 			}
 			return imported, nil
 		}
-		for h := local.Number + 1; h <= remote.Number; h++ {
+		count, err := syncRange(ctx, n, p, local.Number+1, remote.Number, icfg)
+		imported += count
+		if err != nil {
+			return imported, err
+		}
+	}
+}
+
+// syncRange imports the catch-up gap [from, to], serially on an ImportOff
+// node and through the staged pipeline otherwise. Both paths produce
+// byte-identical errors for the same bad block — the parity contract the
+// importer tests pin down.
+func syncRange(ctx context.Context, n *node.Node, p *Peer, from, to uint64, icfg importer.Config) (imported int, err error) {
+	if n.ImportMode() == node.ImportOff {
+		for h := from; h <= to; h++ {
 			if ctx.Err() != nil {
-				return imported, ctx.Err()
+				return imported, context.Cause(ctx)
 			}
 			blk, err := p.Block(ctx, h)
 			if err != nil {
 				return imported, err
 			}
 			if err := n.AcceptBlock(blk); err != nil {
-				switch {
-				case errors.Is(err, node.ErrAlreadyKnown):
-					continue
-				case errors.Is(err, node.ErrFork), errors.Is(err, chain.ErrBadParent):
-					return imported, fmt.Errorf("%w: %v", ErrDiverged, err)
-				default:
-					return imported, fmt.Errorf("cluster: import height %d from %s: %w", h, p.URL(), err)
+				if werr := wrapImportErr(err, h, p); werr != nil {
+					return imported, werr
 				}
+				continue // already known
 			}
 			imported++
 		}
+		return imported, nil
+	}
+	imported, err = importer.Run(ctx, n, p, from, to, icfg)
+	if err != nil {
+		var be *importer.BlockError
+		if errors.As(err, &be) {
+			return imported, wrapImportErr(be.Err, be.Height, p)
+		}
+		return imported, err
+	}
+	return imported, nil
+}
+
+// wrapImportErr maps one block's import rejection into the cluster error
+// vocabulary — shared by the serial and staged paths so their messages
+// match byte for byte. Already-known blocks map to nil (idempotent skip).
+func wrapImportErr(err error, h uint64, p *Peer) error {
+	switch {
+	case errors.Is(err, node.ErrAlreadyKnown):
+		return nil
+	case errors.Is(err, node.ErrFork), errors.Is(err, chain.ErrBadParent):
+		return fmt.Errorf("%w: %v", ErrDiverged, err)
+	default:
+		return fmt.Errorf("cluster: import height %d from %s: %w", h, p.URL(), err)
 	}
 }

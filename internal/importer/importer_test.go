@@ -1,0 +1,310 @@
+package importer_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"contractstm/internal/chain"
+	"contractstm/internal/cluster"
+	"contractstm/internal/contract"
+	"contractstm/internal/engine"
+	"contractstm/internal/importer"
+	"contractstm/internal/node"
+	"contractstm/internal/runtime"
+	"contractstm/internal/types"
+	"contractstm/internal/validator"
+	"contractstm/internal/workload"
+)
+
+// fixtureParams is the shared workload shape: enough conflict that mined
+// blocks carry happens-before edges (the raced-schedule fixture strips
+// them) and every follower world is identical (same seed).
+func fixtureParams(txs int) workload.Params {
+	return workload.Params{
+		Kind:            workload.KindToken,
+		Transactions:    txs,
+		ConflictPercent: 50,
+		Seed:            11,
+	}
+}
+
+// newNode builds a node on a fresh-but-identical genesis world. Every
+// node in a test shares the deterministic sim runner, so serial and
+// staged validation of the same bad block produce byte-identical errors.
+func newNode(t *testing.T, kind engine.Kind, txs int, mode node.ImportMode) (*node.Node, *workload.Workload) {
+	t.Helper()
+	wl, err := workload.Generate(fixtureParams(txs))
+	if err != nil {
+		t.Fatalf("workload.Generate: %v", err)
+	}
+	n, err := node.New(node.Config{
+		World: wl.World, Workers: 3, Runner: runtime.NewSimRunner(),
+		Engine: kind, ImportMode: mode,
+	})
+	if err != nil {
+		t.Fatalf("node.New: %v", err)
+	}
+	return n, wl
+}
+
+// mineChain mines blocks×blockSize transactions into `blocks` blocks on a
+// fresh miner and returns them (blocks[0] is height 1).
+func mineChain(t *testing.T, kind engine.Kind, blocks, blockSize int) []chain.Block {
+	t.Helper()
+	miner, wl := newNode(t, kind, blocks*blockSize, node.ImportOff)
+	miner.SubmitAll(wl.Calls)
+	out := make([]chain.Block, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		b, err := miner.MineOne(blockSize)
+		if err != nil {
+			t.Fatalf("mine block %d: %v", i+1, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// sliceSource serves a pre-built chain to the pipeline. noRange simulates
+// an old peer without the range endpoint; the counters prove which fetch
+// path ran (the prefetcher is a single goroutine, so plain ints are safe).
+type sliceSource struct {
+	blocks      []chain.Block
+	noRange     bool
+	rangeCalls  int
+	singleCalls int
+}
+
+func (s *sliceSource) Block(_ context.Context, h uint64) (chain.Block, error) {
+	s.singleCalls++
+	if h == 0 || h > uint64(len(s.blocks)) {
+		return chain.Block{}, fmt.Errorf("source: no block at height %d", h)
+	}
+	return s.blocks[h-1], nil
+}
+
+func (s *sliceSource) Blocks(_ context.Context, from uint64, count int) ([]chain.Block, error) {
+	s.rangeCalls++
+	if s.noRange {
+		return nil, errors.New("source: range unsupported")
+	}
+	if from == 0 || from > uint64(len(s.blocks)) {
+		return nil, fmt.Errorf("source: no block at height %d", from)
+	}
+	end := from - 1 + uint64(count)
+	if end > uint64(len(s.blocks)) {
+		end = uint64(len(s.blocks))
+	}
+	return s.blocks[from-1 : end], nil
+}
+
+// serialImport is the reference path: AcceptBlock one block at a time.
+// It returns the import count and the first error with its height.
+func serialImport(n *node.Node, blocks []chain.Block) (imported int, failHeight uint64, err error) {
+	for _, b := range blocks {
+		if aerr := n.AcceptBlock(b); aerr != nil {
+			if errors.Is(aerr, node.ErrAlreadyKnown) {
+				continue
+			}
+			return imported, b.Header.Number, aerr
+		}
+		imported++
+	}
+	return imported, 0, nil
+}
+
+// TestStagedMatchesSerialClean: on a clean chain, the staged pipeline
+// (mode on) imports the same blocks to the same head as the serial path,
+// for every engine, over both the range-fetch and the single-block
+// fallback path.
+func TestStagedMatchesSerialClean(t *testing.T) {
+	const blocks, blockSize = 8, 16
+	for _, kind := range engine.Kinds() {
+		for _, noRange := range []bool{false, true} {
+			name := kind.String()
+			if noRange {
+				name += "/no-range"
+			}
+			t.Run(name, func(t *testing.T) {
+				chainBlocks := mineChain(t, kind, blocks, blockSize)
+
+				serial, _ := newNode(t, kind, blocks*blockSize, node.ImportOff)
+				sImported, _, sErr := serialImport(serial, chainBlocks)
+				if sErr != nil || sImported != blocks {
+					t.Fatalf("serial import = %d, %v", sImported, sErr)
+				}
+
+				staged, _ := newNode(t, kind, blocks*blockSize, node.ImportOn)
+				src := &sliceSource{blocks: chainBlocks, noRange: noRange}
+				pImported, pErr := importer.Run(context.Background(), staged, src, 1, uint64(blocks), importer.Config{Workers: 4})
+				if pErr != nil || pImported != blocks {
+					t.Fatalf("staged import = %d, %v", pImported, pErr)
+				}
+				if noRange && src.singleCalls < blocks {
+					t.Fatalf("fallback path made %d single fetches, want %d", src.singleCalls, blocks)
+				}
+				if !noRange && src.singleCalls != 0 {
+					t.Fatalf("range path made %d single fetches, want 0", src.singleCalls)
+				}
+
+				sh, ph := serial.Head().Header, staged.Head().Header
+				if sh.Hash() != ph.Hash() || sh.StateRoot != ph.StateRoot {
+					t.Fatalf("heads diverged: serial %s, staged %s", sh.Hash().Short(), ph.Hash().Short())
+				}
+			})
+		}
+	}
+}
+
+// TestAdversarialParity: for each engine and each adversarial fixture,
+// the staged pipeline rejects at the same height with a byte-identical
+// error to the serial path, and both followers stop on the same head.
+func TestAdversarialParity(t *testing.T) {
+	const blocks, blockSize, badIdx = 8, 16, 3
+	fixtures := []struct {
+		name  string
+		apply func(t *testing.T, b chain.Block) chain.Block
+	}{
+		{"tampered-commitment", func(t *testing.T, b chain.Block) chain.Block {
+			forged := b
+			forged.Calls = append([]contract.Call(nil), b.Calls...)
+			forged.Calls[0].Value++
+			return forged
+		}},
+		{"raced-schedule", func(t *testing.T, b chain.Block) chain.Block {
+			if len(b.Schedule.Edges) == 0 {
+				t.Fatal("fixture block has no happens-before edges; raise conflict")
+			}
+			forged := b
+			forged.Schedule.Edges = nil
+			forged.Header.ScheduleHash = chain.ScheduleHashOf(forged.Schedule, forged.Profiles)
+			return forged
+		}},
+		{"wrong-parent", func(t *testing.T, b chain.Block) chain.Block {
+			forged := b
+			forged.Header.ParentHash = types.HashString("adversarial parent")
+			return forged
+		}},
+	}
+	for _, kind := range engine.Kinds() {
+		for _, fx := range fixtures {
+			t.Run(kind.String()+"/"+fx.name, func(t *testing.T) {
+				chainBlocks := mineChain(t, kind, blocks, blockSize)
+				forged := append([]chain.Block(nil), chainBlocks...)
+				forged[badIdx] = fx.apply(t, chainBlocks[badIdx])
+
+				serial, _ := newNode(t, kind, blocks*blockSize, node.ImportOff)
+				sImported, sHeight, sErr := serialImport(serial, forged)
+				if sErr == nil {
+					t.Fatal("serial path accepted the forged block")
+				}
+				if sImported != badIdx || sHeight != uint64(badIdx+1) {
+					t.Fatalf("serial failed at height %d after %d imports, want %d after %d",
+						sHeight, sImported, badIdx+1, badIdx)
+				}
+
+				staged, _ := newNode(t, kind, blocks*blockSize, node.ImportOn)
+				src := &sliceSource{blocks: forged}
+				pImported, pErr := importer.Run(context.Background(), staged, src, 1, uint64(blocks), importer.Config{Workers: 4})
+				var be *importer.BlockError
+				if !errors.As(pErr, &be) {
+					t.Fatalf("staged error = %v, want *importer.BlockError", pErr)
+				}
+				if pImported != badIdx || be.Height != uint64(badIdx+1) {
+					t.Fatalf("staged failed at height %d after %d imports, want %d after %d",
+						be.Height, pImported, badIdx+1, badIdx)
+				}
+				if got, want := be.Err.Error(), sErr.Error(); got != want {
+					t.Fatalf("error parity broken:\nstaged: %s\nserial: %s", got, want)
+				}
+				sh, ph := serial.Head().Header, staged.Head().Header
+				if sh.Hash() != ph.Hash() {
+					t.Fatalf("heads diverged after rejection: serial %s, staged %s",
+						sh.Hash().Short(), ph.Hash().Short())
+				}
+			})
+		}
+	}
+}
+
+// TestShadowModeAuthoritativeAndCounting: in shadow mode the serial
+// recomputation is authoritative — a bogus staged verdict is outvoted and
+// counted, not obeyed — while in mode on the staged verdict is trusted
+// and rejects the import.
+func TestShadowModeAuthoritativeAndCounting(t *testing.T) {
+	const blocks, blockSize = 2, 16
+	chainBlocks := mineChain(t, engine.KindSpeculative, blocks, blockSize)
+
+	shadow, _ := newNode(t, engine.KindSpeculative, blocks*blockSize, node.ImportShadow)
+	bogus := errors.New("staged pipeline claims rejection")
+	if err := shadow.ImportPrechecked(chainBlocks[0], validator.Prechecked{}, bogus); err != nil {
+		t.Fatalf("shadow import with bogus staged verdict: %v (serial recomputation must win)", err)
+	}
+	if got := shadow.ImportDivergences(); got != 1 {
+		t.Fatalf("divergences = %d, want 1", got)
+	}
+	// A matching verdict does not count as a divergence.
+	pre, preErr := validator.Precheck(chainBlocks[1])
+	if err := shadow.ImportPrechecked(chainBlocks[1], pre, preErr); err != nil {
+		t.Fatalf("shadow import: %v", err)
+	}
+	if got := shadow.ImportDivergences(); got != 1 {
+		t.Fatalf("divergences = %d after clean import, want 1", got)
+	}
+	if st := shadow.CurrentStatus(); st.ImportMode != "shadow" || st.ImportDivergences != 1 {
+		t.Fatalf("status = mode %q divergences %d, want shadow/1", st.ImportMode, st.ImportDivergences)
+	}
+
+	trusting, _ := newNode(t, engine.KindSpeculative, blocks*blockSize, node.ImportOn)
+	err := trusting.ImportPrechecked(chainBlocks[0], validator.Prechecked{}, bogus)
+	if err == nil || err.Error() != "node: "+bogus.Error() {
+		t.Fatalf("mode on must trust the staged verdict, got %v", err)
+	}
+	if h := trusting.Head().Header.Number; h != 0 {
+		t.Fatalf("rejected import advanced head to %d", h)
+	}
+}
+
+// TestShadowSoakOverHTTP is the promotion-gate soak: a follower in shadow
+// mode catches up a real HTTP peer through the staged pipeline (range
+// endpoint included) and must converge with zero verdict divergences.
+// The CI import job runs it under -race.
+func TestShadowSoakOverHTTP(t *testing.T) {
+	const blocks, blockSize = 24, 16
+	worlds, calls, err := cluster.GenerateWorlds(fixtureParams(blocks*blockSize), 2)
+	if err != nil {
+		t.Fatalf("GenerateWorlds: %v", err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Worlds: worlds, Engine: engine.KindOCC, Workers: 3,
+		ImportMode: node.ImportShadow,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(cl.Close)
+
+	miner := cl.Node(0)
+	miner.SubmitAll(calls)
+	for i := 0; i < blocks; i++ {
+		if _, err := miner.MineOne(blockSize); err != nil {
+			t.Fatalf("mine block %d: %v", i+1, err)
+		}
+	}
+
+	follower := cl.Node(1)
+	imported, err := cluster.SyncWith(context.Background(), follower, cl.Peer(0), importer.Config{Workers: 4})
+	if err != nil {
+		t.Fatalf("SyncWith: %v", err)
+	}
+	if imported != blocks {
+		t.Fatalf("imported = %d, want %d", imported, blocks)
+	}
+	if !cl.Converged() {
+		t.Fatalf("heads diverged: %+v", cl.Heads())
+	}
+	if d := follower.ImportDivergences(); d != 0 {
+		t.Fatalf("shadow soak saw %d verdict divergences, want 0", d)
+	}
+}

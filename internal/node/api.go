@@ -152,27 +152,29 @@ func (n *Node) BalanceAt(addr types.Address) (types.Amount, error) {
 func (n *Node) APIStatus() wire.Status {
 	st := n.CurrentStatus()
 	return wire.Status{
-		Height:          st.Height,
-		HeadHash:        st.HeadHash.String(),
-		PoolLen:         st.PoolLen,
-		Engine:          st.Engine,
-		MinedBlocks:     st.MinedBlocks,
-		ValidatedBlocks: st.ValidatedBlocks,
-		TotalRetries:    st.TotalRetries,
-		DurableHeight:   st.DurableHeight,
-		PipelineDepth:   st.PipelineDepth,
-		InFlight:        st.InFlight,
-		Persistent:      st.Persistent,
-		RecoveredBlocks: st.RecoveredBlocks,
-		SnapshotHeight:  st.SnapshotHeight,
-		SnapshotErrors:  st.SnapshotErrors,
-		WalAppends:      st.WalAppends,
-		WalBytesWritten: st.WalBytesWritten,
-		WalFsyncs:       st.WalFsyncs,
-		WalFsyncMicros:  st.WalFsyncMicros,
-		WalGroupCommits: st.WalGroupCommits,
-		WalMaxGroup:     st.WalMaxGroup,
-		ChainBase:       st.ChainBase,
+		Height:            st.Height,
+		HeadHash:          st.HeadHash.String(),
+		PoolLen:           st.PoolLen,
+		Engine:            st.Engine,
+		MinedBlocks:       st.MinedBlocks,
+		ValidatedBlocks:   st.ValidatedBlocks,
+		TotalRetries:      st.TotalRetries,
+		DurableHeight:     st.DurableHeight,
+		PipelineDepth:     st.PipelineDepth,
+		InFlight:          st.InFlight,
+		Persistent:        st.Persistent,
+		RecoveredBlocks:   st.RecoveredBlocks,
+		SnapshotHeight:    st.SnapshotHeight,
+		SnapshotErrors:    st.SnapshotErrors,
+		WalAppends:        st.WalAppends,
+		WalBytesWritten:   st.WalBytesWritten,
+		WalFsyncs:         st.WalFsyncs,
+		WalFsyncMicros:    st.WalFsyncMicros,
+		WalGroupCommits:   st.WalGroupCommits,
+		WalMaxGroup:       st.WalMaxGroup,
+		ChainBase:         st.ChainBase,
+		ImportMode:        st.ImportMode,
+		ImportDivergences: st.ImportDivergences,
 		Mempool: &wire.MempoolStatus{
 			Admitted:       st.Mempool.Admitted,
 			Replaced:       st.Mempool.Replaced,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -188,6 +189,69 @@ func TestV1ReceiptFlow(t *testing.T) {
 					t.Fatalf("balance: %v", err)
 				}
 			})
+		}
+	}
+}
+
+// TestV1BlockRange drives the range-fetch endpoint end to end: full
+// windows decode in height order, requests past the durable head come
+// back short (never empty), a missing starting height answers 404
+// block_not_found, and malformed parameters answer 400.
+func TestV1BlockRange(t *testing.T) {
+	const blocks = 5
+	w, holders := newTokenWorld(t, 2)
+	n, err := New(Config{World: w, Workers: 2, Runner: runtime.NewSimRunner()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	url := httpNode(t, n)
+	sdk := client.New(url)
+	ctx := context.Background()
+	for i := 0; i < blocks; i++ {
+		if _, err := sdk.SubmitTx(ctx, transferTx(holders[0], holders[1], 1+uint64(i))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := n.MineOne(1); err != nil {
+			t.Fatalf("mine %d: %v", i, err)
+		}
+	}
+
+	got, err := sdk.Blocks(ctx, 1, 3)
+	if err != nil {
+		t.Fatalf("Blocks(1,3): %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Blocks(1,3) = %d blocks", len(got))
+	}
+	for i, b := range got {
+		want, _ := n.BlockAt(uint64(i + 1))
+		if b.Header.Hash() != want.Header.Hash() {
+			t.Fatalf("block %d hash mismatch", i+1)
+		}
+	}
+
+	// Short answer: the node serves the durable prefix it has.
+	if got, err = sdk.Blocks(ctx, 4, 64); err != nil || len(got) != 2 {
+		t.Fatalf("Blocks(4,64) = %d blocks, %v; want the 2-block tail", len(got), err)
+	}
+
+	// Missing starting height: 404 with the stable machine code.
+	var ae *client.APIError
+	if _, err = sdk.Blocks(ctx, blocks+10, 2); !errors.As(err, &ae) ||
+		ae.Status != http.StatusNotFound || ae.Code != wire.CodeBlockNotFound {
+		t.Fatalf("Blocks past head err = %v, want 404 %s", err, wire.CodeBlockNotFound)
+	}
+
+	// Malformed parameters: 400 bad_request, checked over raw HTTP so the
+	// SDK's own validation cannot mask the server's.
+	for _, q := range []string{"from=abc&count=2", "from=1&count=junk", "from=1&count=0", "from=1"} {
+		resp, err := http.Get(url + "/v1/blocks?" + q)
+		if err != nil {
+			t.Fatalf("GET ?%s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET ?%s status = %d, want 400", q, resp.StatusCode)
 		}
 	}
 }

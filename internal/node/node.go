@@ -129,6 +129,10 @@ type Config struct {
 	// pool. The clock (Mempool.Now) defaults to time.Now; the pool
 	// itself never reads the wall clock.
 	Mempool mempool.Config
+	// ImportMode is the staged-import rollout switch (off|shadow|on);
+	// see ImportMode's doc comment. The zero value is ImportOff: catch-up
+	// sync stays on the serial one-block-at-a-time path.
+	ImportMode ImportMode
 }
 
 // Node is a single in-process blockchain node.
@@ -196,6 +200,12 @@ type Node struct {
 	server *api.Server
 	// errLog is the serving-fault hook (Config.ErrorLog or std log).
 	errLog func(error)
+	// importMode is the staged-import rollout switch (fixed at
+	// construction); importDivergences counts shadow-mode verdict
+	// disagreements between the pipeline's Phase A and the serial
+	// recomputation (atomic: bumped under execMu, read by status).
+	importMode        ImportMode
+	importDivergences atomic.Int64
 	// stats
 	minedBlocks     int
 	validatedBlocks int
@@ -252,6 +262,7 @@ func New(cfg Config) (*Node, error) {
 		policy:  cfg.SelectionPolicy,
 		eng:     eng,
 	}
+	n.importMode = cfg.ImportMode
 	n.errLog = cfg.ErrorLog
 	if n.errLog == nil {
 		n.errLog = func(err error) { log.Printf("node: %v", err) }
@@ -890,6 +901,18 @@ var (
 // height returns ErrFork. Both checks run before validation, so repeated
 // gossip of old blocks costs two hashes, not a replay.
 func (n *Node) AcceptBlock(b chain.Block) error {
+	return n.acceptBlock(b, nil, nil)
+}
+
+// acceptBlock is the shared import core behind AcceptBlock (serial path)
+// and ImportPrechecked (staged pipeline). A nil pre means the stateless
+// checks have not run yet and the full serial validator executes; a
+// non-nil pre carries Phase A's outputs — preErr (if any) is surfaced
+// after the linkage checks, exactly where the serial path would have
+// failed, and a nil preErr skips straight to the stateful Phase B with
+// the cached plan. Either way the error strings match the serial path
+// byte for byte.
+func (n *Node) acceptBlock(b chain.Block, pre *validator.Prechecked, preErr error) error {
 	n.execMu.Lock()
 	defer n.execMu.Unlock()
 
@@ -919,8 +942,17 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 			chain.ErrBadParent, b.Header.ParentHash.Short(), head.Hash().Short())
 	}
 
+	if pre != nil && preErr != nil {
+		return fmt.Errorf("node: %w", preErr)
+	}
 	snap := n.world.Snapshot()
-	if _, err := validator.Validate(n.runner, n.world, b, validator.Config{Workers: n.workers}); err != nil {
+	var err error
+	if pre != nil {
+		_, err = validator.ValidatePrechecked(n.runner, n.world, b, *pre, validator.Config{Workers: n.workers})
+	} else {
+		_, err = validator.Validate(n.runner, n.world, b, validator.Config{Workers: n.workers})
+	}
+	if err != nil {
 		n.world.Restore(snap)
 		return fmt.Errorf("node: %w", err)
 	}
@@ -932,7 +964,7 @@ func (n *Node) AcceptBlock(b chain.Block) error {
 	}
 	n.durableHeight.Store(b.Header.Number)
 	n.mu.Lock()
-	err := n.chain.Append(b)
+	err = n.chain.Append(b)
 	if err == nil {
 		n.validatedBlocks++
 	}
@@ -1109,6 +1141,12 @@ type Status struct {
 	// verdict counters, evictions, byte footprint and per-shard
 	// occupancy.
 	Mempool mempool.StatsSnapshot `json:"mempool"`
+	// ImportMode is the staged-import rollout switch (off|shadow|on);
+	// ImportDivergences counts shadow-mode verdict disagreements between
+	// the pipeline's stateless phase and the serial recomputation. Any
+	// non-zero value blocks promotion from shadow to on.
+	ImportMode        string `json:"importMode"`
+	ImportDivergences int64  `json:"importDivergences,omitempty"`
 }
 
 // CurrentStatus snapshots node statistics. It never blocks behind an
@@ -1132,6 +1170,8 @@ func (n *Node) CurrentStatus() Status {
 		InFlight:        len(n.inflight),
 		ChainBase:       n.chain.Base(),
 	}
+	st.ImportMode = n.importMode.String()
+	st.ImportDivergences = n.importDivergences.Load()
 	if n.prod != nil {
 		st.PipelineDepth = n.prod.Depth()
 	}

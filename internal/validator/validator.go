@@ -54,21 +54,53 @@ type Result struct {
 	Receipts []contract.Receipt
 }
 
+// Prechecked carries the outputs of the stateless validation phase so the
+// stateful phase can reuse them instead of recomputing: the fork-join plan
+// and the happens-before graph compiled from the block's schedule.
+type Prechecked struct {
+	plan  sched.Plan
+	graph *sched.Graph
+}
+
+// Precheck runs every check in Validate that never touches contract.World:
+// body/schedule commitments and schedule-graph construction (H acyclic, S a
+// topological order). It is pure with respect to b — safe to run
+// concurrently across a window of queued blocks (internal/importer's
+// Phase A). The returned errors are byte-identical to the ones Validate
+// produces for the same block, so a staged import pipeline that elects the
+// first Precheck error by height rejects exactly like the serial path.
+func Precheck(b chain.Block) (Prechecked, error) {
+	if err := chain.VerifyCommitments(b); err != nil {
+		return Prechecked{}, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	plan, graph, err := sched.ConstructValidator(len(b.Calls), b.Schedule)
+	if err != nil {
+		return Prechecked{}, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	return Prechecked{plan: plan, graph: graph}, nil
+}
+
 // Validate re-executes block b against w (which must hold the parent
 // state) and verifies it end to end. On success the world has advanced to
 // the block's post-state; on rejection the world state is unspecified and
 // callers should restore a snapshot.
 func Validate(runner runtime.Runner, w *contract.World, b chain.Block, cfg Config) (Result, error) {
+	pre, err := Precheck(b)
+	if err != nil {
+		return Result{}, err
+	}
+	return ValidatePrechecked(runner, w, b, pre, cfg)
+}
+
+// ValidatePrechecked is the stateful phase of Validate: fork-join replay
+// against world state plus the trace/race/receipt/state-root comparisons.
+// pre must come from Precheck on the same block; the split exists so the
+// staged import pipeline can run Precheck concurrently across a window and
+// keep only this phase strictly sequential in height order.
+func ValidatePrechecked(runner runtime.Runner, w *contract.World, b chain.Block, pre Prechecked, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	n := len(b.Calls)
-
-	if err := chain.VerifyCommitments(b); err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
-	}
-	plan, graph, err := sched.ConstructValidator(n, b.Schedule)
-	if err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
-	}
+	plan, graph := pre.plan, pre.graph
 
 	// The replay execution loop lives in the engine layer (shared with the
 	// engines' schedule derivation); validation layers the checks on top.
