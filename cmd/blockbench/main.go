@@ -17,6 +17,7 @@
 //	blockbench -receipts           # receipt latency: submit → durable /v1 receipt, depths 1 and 4
 //	blockbench -slo                # hot-path SLO sweep; writes BENCH_hotpath.json for cmd/perfci
 //	blockbench -sync               # catch-up sweep: serial vs staged import; writes BENCH_sync.json
+//	blockbench -reads              # read scale-out sweep: QPS per replica count, SSE fan-out, miner overhead; writes BENCH_reads.json
 //	blockbench -pipeline 2 -blocks 8  # short smoke: depths 1,2 over 8 blocks
 //	blockbench -csv out.csv        # also write every data point as CSV
 //	blockbench -quick              # reduced sweeps (fast sanity run)
@@ -86,12 +87,14 @@ func run() error {
 		syncOut   = flag.String("syncjson", "BENCH_sync.json", "output path for the -sync JSON artifact")
 		admitF    = flag.Bool("admission", false, "run the mempool admission sweep (1M-sender ingest + adversarial flooder) and write the JSON artifact")
 		admitOut  = flag.String("admissionjson", "BENCH_admission.json", "output path for the -admission JSON artifact")
+		readsF    = flag.Bool("reads", false, "run the read scale-out sweep (replica QPS, SSE fan-out, miner overhead) and write the JSON artifact")
+		readsOut  = flag.String("readsjson", "BENCH_reads.json", "output path for the -reads JSON artifact")
 		interfere = flag.Int("interference", bench.DefaultInterferencePerMille,
 			"simulated memory contention in per-mille per extra active core; negative = ideal cores")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF && !*syncF && !*admitF
+	all := !*table1 && !*figure1 && !*appendixB && !*engines && !*clusterF && !*persistF && *pipelineF == 0 && !*receiptsF && !*sloF && !*syncF && !*admitF && !*readsF
 	cfg := bench.Config{
 		Workers:              *workers,
 		Runs:                 *runs,
@@ -210,6 +213,35 @@ func run() error {
 			return fmt.Errorf("close %s: %w", *admitOut, err)
 		}
 		fmt.Printf("\nwrote %s\n", *admitOut)
+		return nil
+	}
+
+	if *readsF {
+		rcfg := bench.ReadsConfig{Workers: *workers}
+		if narrowEngines != nil {
+			rcfg.Engine = engKind
+		}
+		if *quick {
+			rcfg.Blocks, rcfg.Reads = 4, 300
+			rcfg.Subscribers, rcfg.MinerBlocks = 100, 4
+		}
+		report, err := bench.SweepReads(rcfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteReadsTable(os.Stdout, report)
+		f, err := os.Create(*readsOut)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *readsOut, err)
+		}
+		if err := bench.WriteReadsJSON(f, report); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", *readsOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *readsOut, err)
+		}
+		fmt.Printf("wrote %s\n", *readsOut)
 		return nil
 	}
 

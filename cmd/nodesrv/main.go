@@ -12,6 +12,7 @@
 //	        [-mempool-shards 16] [-mempool-sender-slots 0] [-mempool-rate 0]
 //	        [-mempool-burst 8] [-mempool-max-bytes 0] [-mempool-shard-entries 0]
 //	        [-pprof 127.0.0.1:6060]
+//	        [-upstream http://primary:8547] [-history] [-subscriber-buffer 64]
 //
 // The -mempool-* flags tune transaction admission on POST /v1/tx: the
 // pool is sharded by sender (-mempool-shards), each sender may hold at
@@ -31,6 +32,16 @@
 // returns once the block is sealed, its WAL fsync runs in the background
 // group-commit writer, and GET /status reports the sealed height next to
 // the durable height. Depth 1 (the default) is fully synchronous.
+//
+// With -upstream URL the node runs as a read replica: it catches up from
+// the primary, follows its event stream through the relay (one upstream
+// subscription no matter how many local /v1/subscribe clients), and
+// serves the read API at its own durable height — every response carries
+// X-Chain-Height, and min_height-gated reads answer 412 when the replica
+// is behind. Add -history to also serve historical state queries
+// (GET /v1/state/{addr}?height=H) from a shadow copy of the demo
+// genesis. -subscriber-buffer widens each local subscriber's event
+// buffer, which relay nodes serving many downstream clients want.
 //
 // Example session:
 //
@@ -69,6 +80,7 @@ import (
 	"contractstm/internal/mempool"
 	"contractstm/internal/node"
 	"contractstm/internal/persist"
+	"contractstm/internal/replica"
 	"contractstm/internal/txpool"
 	"contractstm/internal/types"
 )
@@ -102,6 +114,10 @@ func run() error {
 		mpBurst        = flag.Int("mempool-burst", 0, "per-sender admission burst size (0 = default 8)")
 		mpMaxBytes     = flag.Int64("mempool-max-bytes", 0, "total mempool byte budget; beyond it lower-priority transactions are evicted (0 = unlimited)")
 		mpShardEntries = flag.Int("mempool-shard-entries", 0, "max entries per mempool shard (0 = unlimited)")
+
+		upstream  = flag.String("upstream", "", "primary node URL; set it to run as a read replica")
+		history   = flag.Bool("history", false, "with -upstream, serve historical state queries from a shadow world")
+		subBuffer = flag.Int("subscriber-buffer", 0, "per-subscriber event buffer on /v1/subscribe (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -131,6 +147,7 @@ func run() error {
 		DefaultGasLimit:  *defaultGas,
 		DefaultBlockSize: *blockSize,
 		ImportMode:       impMode,
+		SubscriberBuffer: *subBuffer,
 		Mempool: mempool.Config{
 			Shards:          *mpShards,
 			PerSenderSlots:  *mpSenderSlots,
@@ -189,6 +206,38 @@ func run() error {
 	// mempool and cleanly syncs the WAL in Close.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *upstream != "" {
+		rcfg := replica.Config{
+			Node: n, Upstream: *upstream,
+			ErrorLog: func(err error) { fmt.Fprintln(os.Stderr, "nodesrv: replica:", err) },
+		}
+		if *history {
+			// The shadow world rebuilds the same deterministic demo
+			// genesis; AttachHistory cross-checks it against the chain.
+			shadow, err := demoWorld()
+			if err != nil {
+				return err
+			}
+			rcfg.ShadowWorld = shadow
+		}
+		rep, err := replica.New(rcfg)
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := rep.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				// A dead relay means a silently staling replica — stop
+				// serving rather than drift unboundedly behind.
+				fmt.Fprintln(os.Stderr, "nodesrv: replica stopped:", err)
+				stop()
+			}
+		}()
+		fmt.Printf("replica: following %s (history=%v)\n", *upstream, *history)
+	} else if *history {
+		return errors.New("-history requires -upstream")
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

@@ -33,8 +33,10 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"contractstm/internal/api/wire"
@@ -105,6 +107,41 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
+
+	// Freshness observed from the bounded-staleness response headers
+	// (X-Chain-Height / X-Chain-Staleness), updated on every response.
+	// ReplicaSet's staleness-aware routing reads these.
+	obsHeight    atomic.Uint64
+	obsStaleness atomic.Int64
+}
+
+// ObservedHeight reports the newest X-Chain-Height header this client
+// has seen (0 before any response from a stamping server).
+func (c *Client) ObservedHeight() uint64 { return c.obsHeight.Load() }
+
+// ObservedStaleness reports the most recent X-Chain-Staleness header in
+// milliseconds (0 before any).
+func (c *Client) ObservedStaleness() int64 { return c.obsStaleness.Load() }
+
+// observe records the bounded-staleness headers from a response. Heights
+// only ratchet up — an old response arriving late must not roll the
+// freshness estimate back.
+func (c *Client) observe(resp *http.Response) {
+	if v := resp.Header.Get(wire.HeaderChainHeight); v != "" {
+		if h, err := strconv.ParseUint(v, 10, 64); err == nil {
+			for {
+				cur := c.obsHeight.Load()
+				if h <= cur || c.obsHeight.CompareAndSwap(cur, h) {
+					break
+				}
+			}
+		}
+	}
+	if v := resp.Header.Get(wire.HeaderChainStaleness); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			c.obsStaleness.Store(s)
+		}
+	}
 }
 
 // Option customizes a Client.
@@ -159,8 +196,10 @@ func (c *Client) do(ctx context.Context, retryable bool, build func() (*http.Req
 		case err != nil:
 			lastErr = err
 		case resp.StatusCode >= 500:
+			c.observe(resp)
 			lastErr = decodeError(resp)
 		default:
+			c.observe(resp)
 			return resp, nil
 		}
 		if attempt >= policy.MaxAttempts || ctx.Err() != nil {
@@ -305,10 +344,11 @@ func (c *Client) SubmitCall(ctx context.Context, call contract.Call) (wire.TxSub
 
 // Receipt fetches a transaction's current receipt: status pending until
 // the containing block is durable, committed/aborted after. Unknown IDs
-// answer an *APIError with code wire.CodeTxNotFound.
-func (c *Client) Receipt(ctx context.Context, id string) (wire.TxReceipt, error) {
+// answer an *APIError with code wire.CodeTxNotFound. WithMinHeight
+// bounds how stale the serving node may be.
+func (c *Client) Receipt(ctx context.Context, id string, opts ...ReadOpt) (wire.TxReceipt, error) {
 	var out wire.TxReceipt
-	err := c.getJSON(ctx, "/v1/tx/"+id, 1<<16, &out)
+	err := c.getJSON(ctx, "/v1/tx/"+id+renderOpts(opts), 1<<16, &out)
 	return out, err
 }
 
@@ -335,10 +375,11 @@ func (c *Client) WaitReceipt(ctx context.Context, id string, poll time.Duration)
 	}
 }
 
-// Head fetches the node's durable chain tip.
-func (c *Client) Head(ctx context.Context) (wire.BlockInfo, error) {
+// Head fetches the node's durable chain tip. WithMinHeight bounds how
+// stale the serving node may be.
+func (c *Client) Head(ctx context.Context, opts ...ReadOpt) (wire.BlockInfo, error) {
 	var out wire.BlockInfo
-	err := c.getJSON(ctx, "/v1/head", 1<<16, &out)
+	err := c.getJSON(ctx, "/v1/head"+renderOpts(opts), 1<<16, &out)
 	return out, err
 }
 
@@ -357,13 +398,71 @@ func (c *Client) Mine(ctx context.Context, blockSize int) (wire.BlockInfo, error
 	return out, err
 }
 
-// Balance reads an account balance at the node's current block boundary.
-func (c *Client) Balance(ctx context.Context, addr types.Address) (types.Amount, error) {
-	var out wire.Balance
-	if err := c.getJSON(ctx, "/v1/state/"+addr.String(), 1<<16, &out); err != nil {
-		return 0, err
+// ReadOpt tunes one bounded-staleness read.
+type ReadOpt func(*readOpts)
+
+type readOpts struct {
+	minHeight uint64
+	haveMin   bool
+	atHeight  uint64
+	haveAt    bool
+}
+
+// WithMinHeight requires the serving node's durable height to be at
+// least h: a node behind it answers 412 replica_behind (surfaced as an
+// *APIError with code wire.CodeReplicaBehind) instead of a stale read.
+func WithMinHeight(h uint64) ReadOpt {
+	return func(o *readOpts) { o.minHeight, o.haveMin = h, true }
+}
+
+// AtHeight asks for the state at an exact historical block height,
+// materialized server-side from the nearest snapshot plus tail replay.
+// Heights the node has not reached answer 412 replica_behind; heights
+// below its history window answer 404 height_unavailable.
+func AtHeight(h uint64) ReadOpt {
+	return func(o *readOpts) { o.atHeight, o.haveAt = h, true }
+}
+
+// renderOpts folds a read's options into their query-string form.
+func renderOpts(opts []ReadOpt) string {
+	var o readOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return types.Amount(out.Balance), nil
+	return o.query()
+}
+
+// query renders the options as a query string ("" when default).
+func (o readOpts) query() string {
+	q := url.Values{}
+	if o.haveMin {
+		q.Set("min_height", strconv.FormatUint(o.minHeight, 10))
+	}
+	if o.haveAt {
+		q.Set("height", strconv.FormatUint(o.atHeight, 10))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// Balance reads an account balance at the node's current block boundary
+// — or, with AtHeight, at a historical one; WithMinHeight bounds how
+// stale the serving node may be.
+func (c *Client) Balance(ctx context.Context, addr types.Address, opts ...ReadOpt) (types.Amount, error) {
+	b, err := c.BalanceInfo(ctx, addr, opts...)
+	return types.Amount(b.Balance), err
+}
+
+// BalanceInfo is Balance returning the full wire DTO, including the
+// height the read was served at.
+func (c *Client) BalanceInfo(ctx context.Context, addr types.Address, opts ...ReadOpt) (wire.Balance, error) {
+	var out wire.Balance
+	if err := c.getJSON(ctx, "/v1/state/"+addr.String()+renderOpts(opts), 1<<16, &out); err != nil {
+		return wire.Balance{}, err
+	}
+	return out, nil
 }
 
 // Block fetches and decodes the node's durable block at height. The
@@ -482,16 +581,49 @@ type Stream struct {
 	resp    *http.Response
 	scanner *bufio.Scanner
 	cancel  context.CancelFunc
+	// lastID is the newest SSE id (event sequence number) seen, and
+	// haveID whether any was. Feed it back via WithLastEventID on
+	// reconnect for gap-free resumption.
+	lastID uint64
+	haveID bool
 }
 
 // ErrStreamDropped reports that the server disconnected this subscriber
-// for falling behind; resubscribe and catch up via Block.
+// for falling behind; resubscribe with WithLastEventID(LastEventID())
+// to replay the gap.
 var ErrStreamDropped = errors.New("api client: subscription dropped by server (fell behind)")
+
+// ErrStreamReset reports that the server could not replay the gap after
+// the Last-Event-ID this subscription presented (the gap outran the
+// server's replay ring, or the id belongs to another node): events may
+// be missing — resync through Blocks before trusting the stream. The
+// stream stays usable; subsequent Next calls deliver what the server
+// still has.
+var ErrStreamReset = errors.New("api client: event gap not replayable; resync via blocks")
+
+// SubscribeOpt tunes a subscription.
+type SubscribeOpt func(*subscribeOpts)
+
+type subscribeOpts struct {
+	lastEventID uint64
+	haveLastID  bool
+}
+
+// WithLastEventID resumes after the given event sequence number: the
+// server replays every retained event after it before going live, or
+// signals ErrStreamReset when it cannot.
+func WithLastEventID(seq uint64) SubscribeOpt {
+	return func(o *subscribeOpts) { o.lastEventID, o.haveLastID = seq, true }
+}
 
 // Subscribe opens the durable-block event stream. The stream lives until
 // Close, the context ends, or the server drops a lagging subscriber
 // (Next returns ErrStreamDropped).
-func (c *Client) Subscribe(ctx context.Context) (*Stream, error) {
+func (c *Client) Subscribe(ctx context.Context, opts ...SubscribeOpt) (*Stream, error) {
+	var o subscribeOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
 	if err != nil {
@@ -499,6 +631,9 @@ func (c *Client) Subscribe(ctx context.Context) (*Stream, error) {
 		return nil, fmt.Errorf("api client: subscribe: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if o.haveLastID {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(o.lastEventID, 10))
+	}
 	// The stream outlives any request deadline: use a client without the
 	// SDK's overall timeout (http.Client.Timeout covers reading the
 	// response body, which would cut the subscription off mid-stream).
@@ -510,6 +645,7 @@ func (c *Client) Subscribe(ctx context.Context) (*Stream, error) {
 		cancel()
 		return nil, fmt.Errorf("api client: subscribe: %w", err)
 	}
+	c.observe(resp)
 	if resp.StatusCode != http.StatusOK {
 		defer cancel()
 		return nil, decodeError(resp)
@@ -519,8 +655,15 @@ func (c *Client) Subscribe(ctx context.Context) (*Stream, error) {
 	return &Stream{resp: resp, scanner: sc, cancel: cancel}, nil
 }
 
+// LastEventID reports the newest event sequence number this stream has
+// delivered (and whether any was): what to hand WithLastEventID on
+// reconnect.
+func (s *Stream) LastEventID() (uint64, bool) { return s.lastID, s.haveID }
+
 // Next blocks for the next event. It returns ErrStreamDropped when the
-// server disconnected a lagging subscriber, io.EOF on a clean close.
+// server disconnected a lagging subscriber, ErrStreamReset when a
+// requested replay gap was not fully coverable (stream stays usable),
+// and io.EOF on a clean close.
 func (s *Stream) Next() (wire.Event, error) {
 	var event string
 	for s.scanner.Scan() {
@@ -528,16 +671,24 @@ func (s *Stream) Next() (wire.Event, error) {
 		switch {
 		case strings.HasPrefix(line, ":"):
 			// Comment / keep-alive.
+		case strings.HasPrefix(line, "id: "):
+			if id, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64); err == nil {
+				s.lastID, s.haveID = id, true
+			}
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
-			if event == "dropped" {
+			switch event {
+			case "dropped":
 				return wire.Event{}, ErrStreamDropped
+			case "reset":
+				return wire.Event{}, ErrStreamReset
 			}
 			var ev wire.Event
 			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
 				return wire.Event{}, fmt.Errorf("api client: event decode: %w", err)
 			}
+			s.lastID, s.haveID = ev.Seq, true
 			return ev, nil
 		}
 	}

@@ -1,0 +1,269 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/chain"
+	"contractstm/internal/types"
+)
+
+// ReplicaSetConfig assembles a ReplicaSet.
+type ReplicaSetConfig struct {
+	// Primary is the upstream (write) node — every SubmitTx, Mine and
+	// SendBlock goes here, and reads fall back to it when every replica
+	// is ejected (required).
+	Primary *Client
+	// Replicas are the read-serving followers, tried round-robin. Empty
+	// means every read also goes to the primary.
+	Replicas []*Client
+	// MaxLag is the bounded-staleness contract in blocks: reads carry
+	// min_height = bestKnownHeight - MaxLag, so a replica further behind
+	// answers 412 and is ejected instead of serving the stale read
+	// (0 = no bound).
+	MaxLag uint64
+	// MaxInFlight caps concurrent reads per replica; excess reads spill
+	// to the next replica in rotation instead of queueing (0 = no cap).
+	MaxInFlight int
+	// Cooldown is how long an ejected replica sits out before it is
+	// retried (0 = 500ms).
+	Cooldown time.Duration
+}
+
+// DefaultCooldown is the ejection sit-out when the config leaves it
+// unset.
+const DefaultCooldown = 500 * time.Millisecond
+
+// ReplicaSet routes idempotent reads across a set of read replicas —
+// round-robin, skipping ejected members — while writes always go to the
+// primary. A replica is ejected for a cooldown period when it errors at
+// the transport level, answers 5xx, or proves too stale (412
+// replica_behind against the set's MaxLag bound); reads spill to the
+// next member, and to the primary when nobody is eligible. Safe for
+// concurrent use.
+type ReplicaSet struct {
+	primary  *Client
+	slots    []*replicaSlot
+	rr       atomic.Uint64
+	maxLag   uint64
+	cooldown time.Duration
+}
+
+// replicaSlot is one replica plus its routing state.
+type replicaSlot struct {
+	c *Client
+	// sem caps in-flight reads (nil = uncapped).
+	sem chan struct{}
+	// ejectedUntil is a unix-nano deadline before which the slot is
+	// skipped (atomic; 0 = healthy).
+	ejectedUntil atomic.Int64
+}
+
+// NewReplicaSet builds the routing set.
+func NewReplicaSet(cfg ReplicaSetConfig) (*ReplicaSet, error) {
+	if cfg.Primary == nil {
+		return nil, errors.New("api client: replica set needs a primary")
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	rs := &ReplicaSet{primary: cfg.Primary, maxLag: cfg.MaxLag, cooldown: cfg.Cooldown}
+	for _, c := range cfg.Replicas {
+		slot := &replicaSlot{c: c}
+		if cfg.MaxInFlight > 0 {
+			slot.sem = make(chan struct{}, cfg.MaxInFlight)
+		}
+		rs.slots = append(rs.slots, slot)
+	}
+	return rs, nil
+}
+
+// Primary returns the write-side client.
+func (rs *ReplicaSet) Primary() *Client { return rs.primary }
+
+// Replicas reports the set size.
+func (rs *ReplicaSet) Replicas() int { return len(rs.slots) }
+
+// BestKnownHeight is the newest durable height observed across the
+// whole set (primary included) — the reference point the MaxLag bound
+// measures staleness against.
+func (rs *ReplicaSet) BestKnownHeight() uint64 {
+	best := rs.primary.ObservedHeight()
+	for _, s := range rs.slots {
+		if h := s.c.ObservedHeight(); h > best {
+			best = h
+		}
+	}
+	return best
+}
+
+// minHeight computes the read's staleness floor under MaxLag (0 = no
+// floor).
+func (rs *ReplicaSet) minHeight() uint64 {
+	if rs.maxLag == 0 {
+		return 0
+	}
+	best := rs.BestKnownHeight()
+	if best <= rs.maxLag {
+		return 0
+	}
+	return best - rs.maxLag
+}
+
+// ejectable classifies an error as replica-specific: transport
+// failures, 5xx answers and 412 replica_behind mean "try another
+// member"; any other 4xx is the server's considered refusal and is
+// returned as-is (another replica would refuse identically).
+func ejectable(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return true // transport-level: the member, not the request
+	}
+	return ae.Status >= 500 ||
+		(ae.Status == http.StatusPreconditionFailed && ae.Code == wire.CodeReplicaBehind)
+}
+
+// read runs fn against replicas in rotation, ejecting members that fail
+// in a replica-specific way, and falls back to the primary when every
+// member is ejected, busy, or has failed this attempt.
+func (rs *ReplicaSet) read(ctx context.Context, fn func(*Client) error) error {
+	n := len(rs.slots)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		slot := rs.slots[rs.rr.Add(1)%uint64(n)]
+		if until := slot.ejectedUntil.Load(); until != 0 {
+			if time.Now().UnixNano() < until {
+				continue
+			}
+			slot.ejectedUntil.Store(0) // cooldown over: re-admit
+		}
+		if slot.sem != nil {
+			select {
+			case slot.sem <- struct{}{}:
+			default:
+				continue // at capacity: spill to the next member
+			}
+		}
+		err := fn(slot.c)
+		if slot.sem != nil {
+			<-slot.sem
+		}
+		if err == nil {
+			return nil
+		}
+		if !ejectable(err) {
+			return err
+		}
+		slot.ejectedUntil.Store(time.Now().Add(rs.cooldown).UnixNano())
+		lastErr = err
+	}
+	// Primary fallback: correctness beats load-spreading when the
+	// replica tier is unavailable.
+	if err := fn(rs.primary); err != nil {
+		if lastErr != nil {
+			return fmt.Errorf("%w (after replica error: %v)", err, lastErr)
+		}
+		return err
+	}
+	return nil
+}
+
+// withLag appends the set's min_height floor to a read's options.
+func (rs *ReplicaSet) withLag(opts []ReadOpt) []ReadOpt {
+	if m := rs.minHeight(); m > 0 {
+		opts = append(opts[:len(opts):len(opts)], WithMinHeight(m))
+	}
+	return opts
+}
+
+// Balance reads an account balance from a replica within the staleness
+// bound.
+func (rs *ReplicaSet) Balance(ctx context.Context, addr types.Address, opts ...ReadOpt) (types.Amount, error) {
+	b, err := rs.BalanceInfo(ctx, addr, opts...)
+	return types.Amount(b.Balance), err
+}
+
+// BalanceInfo is Balance returning the full DTO including the serving
+// height.
+func (rs *ReplicaSet) BalanceInfo(ctx context.Context, addr types.Address, opts ...ReadOpt) (wire.Balance, error) {
+	opts = rs.withLag(opts)
+	var out wire.Balance
+	err := rs.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.BalanceInfo(ctx, addr, opts...)
+		return err
+	})
+	return out, err
+}
+
+// Receipt reads a transaction receipt from a replica. Receipts are
+// durable-gated server-side, so any member's answer respects the crash
+// rule; a member that has not seen the receipt yet answers 404, which
+// is not replica-specific — callers polling for durability should poll
+// with WaitReceipt against one member or bound staleness via MaxLag.
+func (rs *ReplicaSet) Receipt(ctx context.Context, id string, opts ...ReadOpt) (wire.TxReceipt, error) {
+	opts = rs.withLag(opts)
+	var out wire.TxReceipt
+	err := rs.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.Receipt(ctx, id, opts...)
+		return err
+	})
+	return out, err
+}
+
+// Head reads the durable chain tip from a replica within the staleness
+// bound.
+func (rs *ReplicaSet) Head(ctx context.Context, opts ...ReadOpt) (wire.BlockInfo, error) {
+	opts = rs.withLag(opts)
+	var out wire.BlockInfo
+	err := rs.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.Head(ctx, opts...)
+		return err
+	})
+	return out, err
+}
+
+// Status reads node status from a replica.
+func (rs *ReplicaSet) Status(ctx context.Context) (wire.Status, error) {
+	var out wire.Status
+	err := rs.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.Status(ctx)
+		return err
+	})
+	return out, err
+}
+
+// Block fetches a durable block from a replica.
+func (rs *ReplicaSet) Block(ctx context.Context, height uint64) (chain.Block, error) {
+	var out chain.Block
+	err := rs.read(ctx, func(c *Client) error {
+		var err error
+		out, err = c.Block(ctx, height)
+		return err
+	})
+	return out, err
+}
+
+// SubmitTx routes the write to the primary — admission control and the
+// mempool live there; replicas never accept writes.
+func (rs *ReplicaSet) SubmitTx(ctx context.Context, tx wire.TxSubmit) (wire.TxSubmitted, error) {
+	return rs.primary.SubmitTx(ctx, tx)
+}
+
+// Mine routes the mine request to the primary.
+func (rs *ReplicaSet) Mine(ctx context.Context, blockSize int) (wire.BlockInfo, error) {
+	return rs.primary.Mine(ctx, blockSize)
+}
+
+// SendBlock routes the block import to the primary.
+func (rs *ReplicaSet) SendBlock(ctx context.Context, b chain.Block) error {
+	return rs.primary.SendBlock(ctx, b)
+}

@@ -1,0 +1,286 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"contractstm/internal/api/wire"
+	"contractstm/internal/types"
+)
+
+// fakeReplica is a /v1 stub that answers head reads at a fixed height
+// (stamping the header like the real server) and counts hits. behavior
+// can be swapped atomically to simulate failures.
+type fakeReplica struct {
+	srv    *httptest.Server
+	hits   atomic.Int64
+	height atomic.Uint64
+	fail   atomic.Int32 // 0 = healthy, else the HTTP status to answer
+}
+
+func newFakeReplica(t *testing.T, height uint64) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.height.Store(height)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		h := f.height.Load()
+		w.Header().Set(wire.HeaderChainHeight, strconv.FormatUint(h, 10))
+		w.Header().Set(wire.HeaderChainStaleness, "0")
+		w.Header().Set("Content-Type", "application/json")
+		if status := int(f.fail.Load()); status != 0 {
+			w.WriteHeader(status)
+			code := wire.CodeInternal
+			if status == http.StatusPreconditionFailed {
+				code = wire.CodeReplicaBehind
+			}
+			_ = json.NewEncoder(w).Encode(&wire.Error{Code: code, Message: "stub failure"})
+			return
+		}
+		if min := r.URL.Query().Get("min_height"); min != "" {
+			floor, _ := strconv.ParseUint(min, 10, 64)
+			if h < floor {
+				w.WriteHeader(http.StatusPreconditionFailed)
+				_ = json.NewEncoder(w).Encode(&wire.Error{Code: wire.CodeReplicaBehind, Message: "behind"})
+				return
+			}
+		}
+		switch {
+		case r.Method == http.MethodPost:
+			_ = json.NewEncoder(w).Encode(wire.TxSubmitted{ID: "0xstub"})
+		default:
+			_ = json.NewEncoder(w).Encode(wire.BlockInfo{Number: h})
+		}
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) client() *Client { return New(f.srv.URL, WithRetry(NoRetry)) }
+
+func testSet(t *testing.T, cfg ReplicaSetConfig) *ReplicaSet {
+	t.Helper()
+	rs, err := NewReplicaSet(cfg)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	return rs
+}
+
+// TestReplicaSetSpreadsReads: idempotent reads rotate across every
+// healthy member and never touch the primary.
+func TestReplicaSetSpreadsReads(t *testing.T) {
+	primary := newFakeReplica(t, 10)
+	r1, r2 := newFakeReplica(t, 10), newFakeReplica(t, 10)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:  primary.client(),
+		Replicas: []*Client{r1.client(), r2.client()},
+	})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := rs.Head(ctx); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if r1.hits.Load() != 3 || r2.hits.Load() != 3 {
+		t.Fatalf("replica hits = %d/%d, want 3/3", r1.hits.Load(), r2.hits.Load())
+	}
+	if primary.hits.Load() != 0 {
+		t.Fatalf("primary served %d reads", primary.hits.Load())
+	}
+}
+
+// TestReplicaSetEjectsFailing: a 5xx member is ejected for the cooldown
+// — traffic shifts to the healthy member — then re-admitted once the
+// cooldown lapses and it recovers.
+func TestReplicaSetEjectsFailing(t *testing.T) {
+	primary := newFakeReplica(t, 10)
+	bad, good := newFakeReplica(t, 10), newFakeReplica(t, 10)
+	bad.fail.Store(http.StatusInternalServerError)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:  primary.client(),
+		Replicas: []*Client{bad.client(), good.client()},
+		Cooldown: 30 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := rs.Head(ctx); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// The bad member was tried at most once before ejection kicked in.
+	if bad.hits.Load() > 2 {
+		t.Fatalf("ejected member kept serving: %d hits", bad.hits.Load())
+	}
+	if good.hits.Load() < 5 {
+		t.Fatalf("healthy member hits = %d", good.hits.Load())
+	}
+	// Recovery after the cooldown: the member rejoins the rotation.
+	bad.fail.Store(0)
+	time.Sleep(50 * time.Millisecond)
+	before := bad.hits.Load()
+	for i := 0; i < 4; i++ {
+		if _, err := rs.Head(ctx); err != nil {
+			t.Fatalf("post-recovery read %d: %v", i, err)
+		}
+	}
+	if bad.hits.Load() == before {
+		t.Fatal("recovered member never re-admitted")
+	}
+}
+
+// TestReplicaSetEjectsStale: a member that answers 412 replica_behind
+// against the MaxLag floor is treated as unhealthy, not as an error for
+// the caller — the read lands on a fresher member.
+func TestReplicaSetEjectsStale(t *testing.T) {
+	primary := newFakeReplica(t, 20)
+	stale, fresh := newFakeReplica(t, 5), newFakeReplica(t, 20)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:  primary.client(),
+		Replicas: []*Client{stale.client(), fresh.client()},
+		MaxLag:   2,
+	})
+	ctx := context.Background()
+	// Prime the set's height observation off the primary.
+	if _, err := rs.Primary().Head(ctx); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	if rs.BestKnownHeight() != 20 {
+		t.Fatalf("best known height = %d", rs.BestKnownHeight())
+	}
+	for i := 0; i < 4; i++ {
+		head, err := rs.Head(ctx)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if head.Number != 20 {
+			t.Fatalf("stale read served: height %d", head.Number)
+		}
+	}
+	if stale.hits.Load() > 2 {
+		t.Fatalf("stale member kept serving: %d hits", stale.hits.Load())
+	}
+}
+
+// TestReplicaSetPrimaryFallback: with every replica down, reads land on
+// the primary — availability beats load-spreading.
+func TestReplicaSetPrimaryFallback(t *testing.T) {
+	primary := newFakeReplica(t, 10)
+	down := newFakeReplica(t, 10)
+	down.fail.Store(http.StatusBadGateway)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:  primary.client(),
+		Replicas: []*Client{down.client()},
+	})
+	head, err := rs.Head(context.Background())
+	if err != nil {
+		t.Fatalf("fallback read: %v", err)
+	}
+	if head.Number != 10 || primary.hits.Load() != 1 {
+		t.Fatalf("head = %+v, primary hits = %d", head, primary.hits.Load())
+	}
+}
+
+// TestReplicaSetConsideredRefusalNotEjected: a 4xx is the server's
+// answer to the request, not a replica fault — it surfaces immediately
+// and the member stays in rotation.
+func TestReplicaSetConsideredRefusalNotEjected(t *testing.T) {
+	primary := newFakeReplica(t, 10)
+	r1 := newFakeReplica(t, 10)
+	r1.fail.Store(http.StatusNotFound)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:  primary.client(),
+		Replicas: []*Client{r1.client()},
+	})
+	if _, err := rs.Head(context.Background()); !IsCode(err, wire.CodeInternal) {
+		t.Fatalf("4xx err = %v, want the member's own refusal", err)
+	}
+	if primary.hits.Load() != 0 {
+		t.Fatal("4xx triggered primary fallback")
+	}
+	// Still in rotation: the next read goes straight back to it.
+	r1.fail.Store(0)
+	if _, err := rs.Head(context.Background()); err != nil {
+		t.Fatalf("read after refusal: %v", err)
+	}
+	if r1.hits.Load() != 2 {
+		t.Fatalf("member hits = %d, want 2 (not ejected)", r1.hits.Load())
+	}
+}
+
+// TestReplicaSetWritesToPrimary: writes never touch replicas.
+func TestReplicaSetWritesToPrimary(t *testing.T) {
+	primary := newFakeReplica(t, 10)
+	r1 := newFakeReplica(t, 10)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:  primary.client(),
+		Replicas: []*Client{r1.client()},
+	})
+	if _, err := rs.SubmitTx(context.Background(), wire.TxSubmit{
+		Sender: types.AddressFromUint64(1).String(), Contract: types.AddressFromUint64(2).String(),
+		Function: "f", GasLimit: 1,
+	}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if primary.hits.Load() != 1 || r1.hits.Load() != 0 {
+		t.Fatalf("hits primary=%d replica=%d", primary.hits.Load(), r1.hits.Load())
+	}
+}
+
+// TestReplicaSetMaxInFlightSpills: a member at its concurrency cap is
+// skipped, not queued behind.
+func TestReplicaSetMaxInFlightSpills(t *testing.T) {
+	primary := newFakeReplica(t, 10)
+	slow := newFakeReplica(t, 10)
+	fast := newFakeReplica(t, 10)
+	rs := testSet(t, ReplicaSetConfig{
+		Primary:     primary.client(),
+		Replicas:    []*Client{slow.client(), fast.client()},
+		MaxInFlight: 1,
+	})
+	// Saturate the slow member's slot by hand, then read: every request
+	// must spill past it.
+	rs.slots[0].sem <- struct{}{}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := rs.Head(ctx); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if slow.hits.Load() != 0 {
+		t.Fatalf("saturated member served %d reads", slow.hits.Load())
+	}
+	if fast.hits.Load() != 4 {
+		t.Fatalf("spill target hits = %d", fast.hits.Load())
+	}
+}
+
+// TestClientObservesHeight: the SDK ratchets the stamped height and
+// tracks the latest staleness off every response.
+func TestClientObservesHeight(t *testing.T) {
+	f := newFakeReplica(t, 7)
+	c := f.client()
+	if _, err := c.Head(context.Background()); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	if c.ObservedHeight() != 7 {
+		t.Fatalf("observed height = %d", c.ObservedHeight())
+	}
+	// The ratchet never regresses on a stale answer.
+	f.height.Store(3)
+	if _, err := c.Head(context.Background()); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	if c.ObservedHeight() != 7 {
+		t.Fatalf("observed height regressed to %d", c.ObservedHeight())
+	}
+	if c.ObservedStaleness() != 0 {
+		t.Fatalf("observed staleness = %d", c.ObservedStaleness())
+	}
+}

@@ -101,7 +101,24 @@ type Backend interface {
 	SnapshotWire() []byte
 	// BalanceAt reads an account balance at the current block boundary.
 	BalanceAt(types.Address) (types.Amount, error)
+	// ReadStamp reports the durable height every read is served at plus
+	// the node's staleness bound in milliseconds — time elapsed since
+	// that height was reached (0 when unknown, e.g. before any block).
+	ReadStamp() (height uint64, stalenessMillis int64)
+	// BalanceAtHeight reads an account balance at a historical block
+	// height. ErrHeightAhead means the node has not durably reached the
+	// height yet (412); ErrHeightUnavailable means the height fell out
+	// of the node's history window or no history is attached (404).
+	BalanceAtHeight(types.Address, uint64) (types.Amount, error)
 }
+
+// Sentinel errors Backend.BalanceAtHeight maps historical-read failures
+// onto; the server translates them to replica_behind (412) and
+// height_unavailable (404).
+var (
+	ErrHeightAhead       = errors.New("height ahead of served height")
+	ErrHeightUnavailable = errors.New("height not materializable")
+)
 
 // Config assembles a Server.
 type Config struct {
@@ -121,6 +138,11 @@ type Config struct {
 	// Timeout bounds every non-streaming request (0 = DefaultTimeout,
 	// negative = none). The event stream is exempt.
 	Timeout time.Duration
+	// SubscriberBuffer sizes each /v1/subscribe subscriber's event
+	// buffer (<=0 selects DefaultSubscriberBuffer). Relays serving
+	// thousands of downstream subscribers raise it so a scheduling
+	// hiccup does not cascade into drops.
+	SubscriberBuffer int
 	// ErrorLog receives server-side serving faults (response encoding
 	// failures — malformed DTOs must not be silent). Nil discards.
 	ErrorLog func(error)
@@ -132,11 +154,27 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 
+	// statusDecorator, when set, amends the status DTO before it is
+	// served — the replica relay injects its accounting here. Stored
+	// atomically because the relay attaches after the server starts.
+	statusDecorator atomic.Pointer[func(*wire.Status)]
+
 	// request metrics (lock-free; read by the status handler).
 	requests atomic.Int64
 	errs     atomic.Int64
 	routeMu  sync.Mutex
 	byRoute  map[string]*atomic.Int64
+}
+
+// SetStatusDecorator installs (or, with nil, removes) a hook that may
+// amend every GET /v1/status response before encoding. Safe to call
+// while the server is serving.
+func (s *Server) SetStatusDecorator(fn func(*wire.Status)) {
+	if fn == nil {
+		s.statusDecorator.Store(nil)
+		return
+	}
+	s.statusDecorator.Store(&fn)
 }
 
 // NewServer builds the API server for a backend.
@@ -243,11 +281,45 @@ func (s *Server) measure(pattern string, h http.Handler) http.Handler {
 		s.requests.Add(1)
 		counter.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h.ServeHTTP(rec, r)
+		if s.stampAndGate(rec, r) {
+			h.ServeHTTP(rec, r)
+		}
 		if rec.code >= 400 {
 			s.errs.Add(1)
 		}
 	})
+}
+
+// stampAndGate stamps X-Chain-Height and X-Chain-Staleness onto the
+// response and enforces a GET's min_height precondition: a node behind
+// the client's height floor answers 412 replica_behind with a
+// Retry-After hint instead of silently serving a stale read. Reports
+// whether the request may proceed to its handler.
+func (s *Server) stampAndGate(w http.ResponseWriter, r *http.Request) bool {
+	height, staleMillis := s.cfg.Backend.ReadStamp()
+	hdr := w.Header()
+	hdr.Set(wire.HeaderChainHeight, strconv.FormatUint(height, 10))
+	hdr.Set(wire.HeaderChainStaleness, strconv.FormatInt(staleMillis, 10))
+	if r.Method != http.MethodGet {
+		return true
+	}
+	minStr := r.URL.Query().Get("min_height")
+	if minStr == "" {
+		return true
+	}
+	minHeight, err := strconv.ParseUint(minStr, 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Errorf("bad min_height %q", minStr))
+		return false
+	}
+	if height < minHeight {
+		hdr.Set("Retry-After", "1")
+		s.fail(w, http.StatusPreconditionFailed, wire.CodeReplicaBehind,
+			fmt.Errorf("serving height %d, below requested min_height %d", height, minHeight))
+		return false
+	}
+	return true
 }
 
 // Metrics snapshots the server's request accounting.
@@ -538,20 +610,53 @@ func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStatus is GET /v1/status: node status plus the API layer's own
-// request metrics.
+// request metrics, run through the status decorator when one is
+// attached (the replica relay reports itself this way).
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.cfg.Backend.APIStatus()
 	m := s.Metrics()
 	st.API = &m
+	if fn := s.statusDecorator.Load(); fn != nil {
+		(*fn)(&st)
+	}
 	s.writeJSON(w, http.StatusOK, st)
 }
 
 // handleBalance is GET /v1/state/{address}: a balance read at the
-// current block boundary.
+// current block boundary, or — with ?height=H — at a materialized
+// historical height (nearest snapshot plus tail replay on nodes with
+// history attached). A height the node has not durably reached answers
+// 412 replica_behind; one below the history window answers 404
+// height_unavailable.
 func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 	addr, err := types.ParseAddress(r.PathValue("address"))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, wire.CodeBadAddress, err)
+		return
+	}
+	if hs := r.URL.Query().Get("height"); hs != "" {
+		height, err := strconv.ParseUint(hs, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+				fmt.Errorf("bad height %q", hs))
+			return
+		}
+		bal, err := s.cfg.Backend.BalanceAtHeight(addr, height)
+		switch {
+		case errors.Is(err, ErrHeightAhead):
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusPreconditionFailed, wire.CodeReplicaBehind, err)
+			return
+		case errors.Is(err, ErrHeightUnavailable):
+			s.fail(w, http.StatusNotFound, wire.CodeHeightUnavailable, err)
+			return
+		case err != nil:
+			s.fail(w, http.StatusInternalServerError, wire.CodeInternal, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, wire.Balance{
+			Address: addr.String(), Balance: uint64(bal), Height: height,
+		})
 		return
 	}
 	bal, err := s.cfg.Backend.BalanceAt(addr)
@@ -559,7 +664,10 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, wire.Balance{Address: addr.String(), Balance: uint64(bal)})
+	served, _ := s.cfg.Backend.ReadStamp()
+	s.writeJSON(w, http.StatusOK, wire.Balance{
+		Address: addr.String(), Balance: uint64(bal), Height: served,
+	})
 }
 
 // handleSnapshot is GET /v1/snapshot: the state checkpoint for snapshot
@@ -589,10 +697,16 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSubscribe is GET /v1/subscribe: a server-sent-event stream of
-// durable blocks and their receipts, in height order. A subscriber that
-// cannot keep up is disconnected (the broker never back-pressures block
-// production); the client resubscribes and fills the sequence gap via
-// GET /v1/blocks.
+// durable blocks and their receipts, in height order, each carrying its
+// broker sequence number as the SSE id. A reconnecting client sends the
+// standard Last-Event-ID header and the missed events are replayed from
+// the broker's retained ring; a gap that outran the ring (or an id from
+// another node) is answered with an `event: reset` before whatever can
+// still be replayed, telling the client to resync through GET
+// /v1/blocks instead of trusting the stream to be gapless. A subscriber
+// that cannot keep up is disconnected (the broker never back-pressures
+// block production); the dropped event tells it to reconnect with
+// Last-Event-ID set.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Events == nil {
 		s.fail(w, http.StatusNotFound, wire.CodeBadRequest, errors.New("event stream not enabled"))
@@ -603,15 +717,67 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, errors.New("streaming unsupported"))
 		return
 	}
-	sub := s.cfg.Events.Subscribe(0)
+	// Subscribe before replaying: events published between the replay
+	// read and the live loop land in the buffer and are deduplicated by
+	// sequence number below, so the client sees every event exactly once.
+	sub := s.cfg.Events.Subscribe(s.cfg.SubscriberBuffer)
 	defer sub.Close()
+
+	var replay []wire.Event
+	needReset := false
+	replayed := false // whether a delivered-through floor applies
+	var seenThrough uint64
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		afterSeq, err := strconv.ParseUint(lastID, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+				fmt.Errorf("bad Last-Event-ID %q", lastID))
+			return
+		}
+		var complete bool
+		replay, complete = s.cfg.Events.Replay(afterSeq)
+		if complete {
+			replayed = true
+			seenThrough = afterSeq
+		} else {
+			// The gap outran the ring (or the id came from another
+			// node): signal a reset, then replay whatever the ring still
+			// holds so the client reaches the live edge — it must fill
+			// the signalled hole through GET /v1/blocks itself.
+			needReset = true
+		}
+	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, ": subscribed\n\n")
+	if needReset {
+		_, _ = io.WriteString(w, "event: reset\ndata: {}\n\n")
+	}
 	flusher.Flush()
+
+	writeEvent := func(ev wire.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			s.logErr(fmt.Errorf("api: encode event: %w", err))
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: block\ndata: %s\n\n", ev.Seq, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+		replayed = true
+		seenThrough = ev.Seq
+	}
 
 	for {
 		select {
@@ -626,15 +792,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 				return
 			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				s.logErr(fmt.Errorf("api: encode event: %w", err))
+			if replayed && ev.Seq <= seenThrough {
+				continue // already delivered through the replay pass
+			}
+			if !writeEvent(ev) {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: block\ndata: %s\n\n", data); err != nil {
-				return
-			}
-			flusher.Flush()
 		}
 	}
 }

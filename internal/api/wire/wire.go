@@ -65,6 +65,26 @@ const (
 	// CodeInternal is an unexpected server-side failure.
 	CodeInternal = "internal"
 
+	// Read-replica codes (bounded-staleness reads). CodeReplicaBehind
+	// answers 412 Precondition Failed: the serving node's durable height
+	// is below the client's min_height (or a requested historical height
+	// is above it). The answer carries X-Chain-Height plus a Retry-After
+	// hint — the read is well-formed, the replica just has not caught up.
+	CodeReplicaBehind = "replica_behind"
+	// CodeHeightUnavailable answers 404: the requested historical height
+	// sits below what the node's history window still materializes (the
+	// chain is pruned there, or no history is attached at all).
+	CodeHeightUnavailable = "height_unavailable"
+)
+
+// Response headers carrying the bounded-staleness read contract: the
+// durable height the node serves reads at, and how stale that height is
+// in milliseconds. Stamped on every response so clients (and the SDK's
+// ReplicaSet) track replica freshness without extra round-trips.
+const (
+	HeaderChainHeight    = "X-Chain-Height"
+	HeaderChainStaleness = "X-Chain-Staleness"
+
 	// Admission-control codes (POST /v1/tx). CodeTxDuplicate answers 409
 	// — the transaction is already queued or executed here, and the
 	// caller's existing receipt stands. The remaining four answer 429
@@ -359,10 +379,15 @@ type Mine struct {
 }
 
 // Balance is the GET /v1/state/{address} response: a state read of one
-// account's balance at the current block boundary.
+// account's balance at the current block boundary, or — with ?height=H —
+// at a materialized historical height.
 type Balance struct {
 	Address string `json:"address"`
 	Balance uint64 `json:"balance"`
+	// Height is the block height the balance was read at: the node's
+	// served (durable) height for latest reads, the requested height for
+	// historical ones. Omitted by pre-replica servers.
+	Height uint64 `json:"height,omitempty"`
 }
 
 // APIMetrics is the server's per-process request accounting, embedded in
@@ -418,6 +443,29 @@ type Status struct {
 	// API is filled in by the serving layer (nil when the status was
 	// produced outside an API server).
 	API *APIMetrics `json:"api,omitempty"`
+	// Relay reports the node's upstream event-relay loop (nil unless the
+	// node runs as a read replica with a relay attached).
+	Relay *RelayStatus `json:"relay,omitempty"`
+}
+
+// RelayStatus is the read-replica relay's accounting inside
+// GET /v1/status: one upstream Subscribe connection feeding the local
+// broker, with gap-fill on reconnect.
+type RelayStatus struct {
+	// Upstream is the base URL of the node the relay follows.
+	Upstream string `json:"upstream"`
+	// Events counts upstream block events applied or republished.
+	Events int64 `json:"events"`
+	// Reconnects counts upstream stream re-establishments (the initial
+	// connect is not counted).
+	Reconnects int64 `json:"reconnects"`
+	// GapsFilled counts blocks fetched through the range endpoint
+	// because the event stream skipped past them (drop or reconnect).
+	GapsFilled int64 `json:"gapsFilled"`
+	// UpstreamHeight is the newest block height observed on the
+	// upstream stream; local durable height lagging it is the replica's
+	// current staleness in blocks.
+	UpstreamHeight uint64 `json:"upstreamHeight"`
 }
 
 // MempoolStatus is the sharded mempool's admission accounting inside

@@ -1,0 +1,685 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"contractstm/internal/api/client"
+	"contractstm/internal/cluster"
+	"contractstm/internal/contract"
+	"contractstm/internal/engine"
+	"contractstm/internal/node"
+	"contractstm/internal/persist"
+	"contractstm/internal/replica"
+	"contractstm/internal/workload"
+)
+
+// ReadsConfig tunes the read-path scale-out sweep: one miner seals a
+// chain, then 1..N read replicas follow it and a ReplicaSet client
+// spreads a fixed read workload across them. Three questions, three
+// phases: does read QPS scale with replica count, can one upstream
+// subscription fan out to a thousand downstream SSE clients, and does
+// an attached replica slow the miner down?
+type ReadsConfig struct {
+	// Kind selects the workload (default Token).
+	Kind workload.Kind
+	// Blocks is the chain length replicas serve reads over (default 6).
+	Blocks int
+	// BlockSize is transactions per block (default 24).
+	BlockSize int
+	// ConflictPercent is the workload's data-conflict percentage
+	// (default SweepConflictFixed; negative = conflict-free).
+	ConflictPercent int
+	// Workers is every node's execution pool size (default 3).
+	Workers int
+	// Engine selects the execution engine (default OCC).
+	Engine engine.Kind
+	// ReplicaCounts is the sweep axis (default 1, 2, 4).
+	ReplicaCounts []int
+	// Reads is the fixed read count measured per point (default 1500).
+	Reads int
+	// MaxInFlight caps concurrent reads per replica; the sweep sizes its
+	// closed-loop reader pool to replicas × MaxInFlight — the
+	// provisioning rule a deployment uses, so QPS measures the
+	// concurrency the replica tier admits (default 2).
+	MaxInFlight int
+	// MaxLag is the ReplicaSet's bounded-staleness contract in blocks
+	// (default 8).
+	MaxLag uint64
+	// ReadRTT is the simulated round-trip time on every read client,
+	// replicas and primary alike, injected at the HTTP transport
+	// (default 4ms; negative = none). A single-host bench serves every
+	// node over loopback, which hides exactly the cost read scale-out
+	// exists to amortize: the wire time a read spends in flight. With a
+	// fixed RTT each reader sustains ~1/RTT reads/s, so aggregate QPS is
+	// capacity-bound — more replicas admit more concurrent readers.
+	ReadRTT time.Duration
+	// Subscribers is the fan-out phase's downstream SSE client count
+	// (default 1000).
+	Subscribers int
+	// MinerBlocks is the miner-overhead phase's blocks per measured
+	// batch (default 16).
+	MinerBlocks int
+	// MinerBlockSize is transactions per block in that phase (default 8).
+	MinerBlockSize int
+	// MinerRuns is the measured batches per miner; the phase keeps the
+	// best batch on each side, stripping single-core scheduler noise
+	// (default 7).
+	MinerRuns int
+	// MineRTT is the simulated round-trip time on the mine-driving
+	// client (default 8ms, following SyncConfig.LinkRTT's rationale;
+	// negative = none). Block production is driven remotely — consensus
+	// rounds arrive over the wire — and the replica's validation work
+	// overlaps that idle gap rather than stealing miner time. On this
+	// single-core host the gap must also absorb the relay's block fetch
+	// and validation, so the default is wider than the read RTT.
+	MineRTT time.Duration
+	// Seed makes workload generation deterministic (default DefaultSeed).
+	Seed int64
+}
+
+// WithDefaults returns c with every unset field at its default.
+func (c ReadsConfig) WithDefaults() ReadsConfig {
+	if c.Kind == 0 {
+		c.Kind = workload.KindToken
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 6
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 24
+	}
+	if c.ConflictPercent == 0 {
+		c.ConflictPercent = SweepConflictFixed
+	} else if c.ConflictPercent < 0 {
+		c.ConflictPercent = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Engine == 0 {
+		c.Engine = engine.KindOCC
+	}
+	if len(c.ReplicaCounts) == 0 {
+		c.ReplicaCounts = []int{1, 2, 4}
+	}
+	if c.Reads <= 0 {
+		c.Reads = 1500
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxLag == 0 {
+		c.MaxLag = 8
+	}
+	if c.ReadRTT == 0 {
+		c.ReadRTT = 4 * time.Millisecond
+	} else if c.ReadRTT < 0 {
+		c.ReadRTT = 0
+	}
+	if c.Subscribers <= 0 {
+		c.Subscribers = 1000
+	}
+	if c.MinerBlocks <= 0 {
+		c.MinerBlocks = 16
+	}
+	if c.MinerBlockSize <= 0 {
+		c.MinerBlockSize = 8
+	}
+	if c.MinerRuns <= 0 {
+		c.MinerRuns = 7
+	}
+	if c.MineRTT == 0 {
+		c.MineRTT = 8 * time.Millisecond
+	} else if c.MineRTT < 0 {
+		c.MineRTT = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// ReadsPoint is one measured replica count: a fixed read workload
+// spread across the tier by a ReplicaSet client.
+type ReadsPoint struct {
+	Replicas int `json:"replicas"`
+	// Readers is the closed-loop reader pool size (replicas × MaxInFlight).
+	Readers     int     `json:"readers"`
+	Reads       int     `json:"reads"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// SpeedupVs1 is this point's reads/s over the one-replica point's.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// ReadsReport is the BENCH_reads.json artifact.
+type ReadsReport struct {
+	GoVersion       string  `json:"go_version"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Engine          string  `json:"engine"`
+	Blocks          int     `json:"blocks"`
+	BlockSize       int     `json:"block_size"`
+	ConflictPercent int     `json:"conflict_percent"`
+	Workers         int     `json:"workers"`
+	ReadRTTMs       float64 `json:"read_rtt_ms"`
+	MaxInFlight     int     `json:"max_in_flight"`
+	MaxLag          uint64  `json:"max_lag"`
+
+	Points []ReadsPoint `json:"points"`
+	// SpeedupAt4 is the four-replica point's speedup over one replica
+	// (0 when 4 is not on the axis) — the headline scale-out number.
+	SpeedupAt4 float64 `json:"speedup_at_4_replicas"`
+
+	// Fan-out phase: Subscribers downstream SSE clients behind one
+	// replica, all delivered one relayed block while the upstream
+	// carries UpstreamSubs (must be 1) subscribe connections.
+	FanoutSubscribers  int     `json:"fanout_subscribers"`
+	FanoutUpstreamSubs int     `json:"fanout_upstream_subscribers"`
+	FanoutElapsedNs    int64   `json:"fanout_elapsed_ns"`
+	FanoutEventsPerSec float64 `json:"fanout_events_per_sec"`
+
+	// Miner-overhead phase: a WAL-synced miner driven over HTTP, bare
+	// vs with one live replica attached; best of MinerRuns batches on
+	// each side. OverheadPercent is the blocks/s the replica costs the
+	// miner (negative = noise).
+	MinerBlocks          int     `json:"miner_blocks"`
+	MinerBlockSize       int     `json:"miner_block_size"`
+	MinerRuns            int     `json:"miner_runs"`
+	MineRTTMs            float64 `json:"mine_rtt_ms"`
+	MinerBaselineBPS     float64 `json:"miner_baseline_blocks_per_sec"`
+	MinerWithReplicaBPS  float64 `json:"miner_with_replica_blocks_per_sec"`
+	MinerOverheadPercent float64 `json:"miner_overhead_percent"`
+}
+
+// rttClient builds an SDK HTTP client with the simulated wire delay.
+func rttClient(rtt time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &cluster.LatencyTransport{RTT: rtt},
+	}
+}
+
+// readReplica is one running follower: its node served over HTTP and
+// the replica machinery following the upstream.
+type readReplica struct {
+	rep  *replica.Replica
+	srv  *httptest.Server
+	stop context.CancelFunc
+	done chan error
+}
+
+// startReadReplica builds a follower on world w, starts it following
+// upstream, and waits until it durably reaches height.
+func startReadReplica(w *contract.World, upstream string, height uint64, cfg ReadsConfig) (*readReplica, error) {
+	n, err := node.New(node.Config{World: w, Workers: cfg.Workers, Engine: cfg.Engine})
+	if err != nil {
+		return nil, fmt.Errorf("bench: reads replica node: %w", err)
+	}
+	rep, err := replica.New(replica.Config{Node: n, Upstream: upstream})
+	if err != nil {
+		return nil, fmt.Errorf("bench: reads replica: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rep.Run(ctx) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for n.Height() < height {
+		select {
+		case err := <-done:
+			cancel()
+			return nil, fmt.Errorf("bench: reads replica exited during sync: %w", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			return nil, fmt.Errorf("bench: reads replica stuck at height %d, want %d", n.Height(), height)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return &readReplica{
+		rep: rep, srv: httptest.NewServer(n.Handler()),
+		stop: cancel, done: done,
+	}, nil
+}
+
+// close tears the replica down, surfacing any fault Run hit.
+func (r *readReplica) close() error {
+	r.stop()
+	err := <-r.done
+	r.srv.Close()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("bench: reads replica run: %w", err)
+	}
+	return nil
+}
+
+// measureReadPoint runs the fixed read workload against count replicas
+// through a ReplicaSet and times it.
+func measureReadPoint(cfg ReadsConfig, upstream string, worlds []*contract.World, count int) (ReadsPoint, error) {
+	reps := make([]*readReplica, 0, count)
+	closeAll := func() error {
+		var first error
+		for _, r := range reps {
+			if err := r.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	replicas := make([]*client.Client, 0, count)
+	for i := 0; i < count; i++ {
+		r, err := startReadReplica(worlds[i], upstream, uint64(cfg.Blocks), cfg)
+		if err != nil {
+			closeAll()
+			return ReadsPoint{}, err
+		}
+		reps = append(reps, r)
+		replicas = append(replicas, client.New(r.srv.URL, client.WithHTTPClient(rttClient(cfg.ReadRTT))))
+	}
+
+	// The primary pays the same wire cost, so a read that spills to it
+	// is no cheaper — the sweep measures tier capacity, not fallback.
+	rs, err := client.NewReplicaSet(client.ReplicaSetConfig{
+		Primary:     client.New(upstream, client.WithHTTPClient(rttClient(cfg.ReadRTT))),
+		Replicas:    replicas,
+		MaxLag:      cfg.MaxLag,
+		MaxInFlight: cfg.MaxInFlight,
+	})
+	if err != nil {
+		closeAll()
+		return ReadsPoint{}, fmt.Errorf("bench: reads replica set: %w", err)
+	}
+
+	readers := count * cfg.MaxInFlight
+	per := cfg.Reads / readers
+	extra := cfg.Reads % readers
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	fails := make(chan error, readers)
+	start := time.Now()
+	for w := 0; w < readers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := rs.Head(ctx); err != nil {
+					fails <- fmt.Errorf("bench: read failed: %w", err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(fails)
+	if err := <-fails; err != nil {
+		closeAll()
+		return ReadsPoint{}, err
+	}
+	if err := closeAll(); err != nil {
+		return ReadsPoint{}, err
+	}
+
+	pt := ReadsPoint{Replicas: count, Readers: readers, Reads: cfg.Reads, ElapsedNs: elapsed.Nanoseconds()}
+	if s := elapsed.Seconds(); s > 0 {
+		pt.ReadsPerSec = float64(cfg.Reads) / s
+	}
+	return pt, nil
+}
+
+// measureFanout subscribes cfg.Subscribers SSE clients to one replica,
+// relays one freshly mined block to all of them, and checks the
+// upstream carried exactly one subscription.
+func measureFanout(cfg ReadsConfig, up *node.Node, upstream string, w *contract.World, calls []contract.Call) (elapsed time.Duration, upstreamSubs int, err error) {
+	rep, err := startReadReplica(w, upstream, uint64(cfg.Blocks), cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if cerr := rep.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	ctx := context.Background()
+	sdk := client.New(rep.srv.URL)
+	streams := make([]*client.Stream, cfg.Subscribers)
+	for i := range streams {
+		s, serr := sdk.Subscribe(ctx)
+		if serr != nil {
+			err = fmt.Errorf("bench: fanout subscriber %d: %w", i, serr)
+			return
+		}
+		defer s.Close()
+		streams[i] = s
+	}
+
+	want := uint64(cfg.Blocks) + 1
+	var wg sync.WaitGroup
+	fails := make(chan error, cfg.Subscribers)
+	start := time.Now()
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s *client.Stream) {
+			defer wg.Done()
+			for {
+				ev, nerr := s.Next()
+				if nerr != nil {
+					fails <- fmt.Errorf("bench: fanout subscriber %d: %w", i, nerr)
+					return
+				}
+				if ev.Block.Number >= want {
+					return
+				}
+			}
+		}(i, s)
+	}
+	up.SubmitAll(calls)
+	if _, err = up.MineOne(cfg.BlockSize); err != nil {
+		err = fmt.Errorf("bench: fanout mine: %w", err)
+		return
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	close(fails)
+	if ferr := <-fails; ferr != nil {
+		err = ferr
+		return
+	}
+
+	st, err := client.New(upstream).Status(ctx)
+	if err != nil {
+		err = fmt.Errorf("bench: fanout upstream status: %w", err)
+		return
+	}
+	if st.API != nil {
+		upstreamSubs = st.API.Subscribers
+	}
+	return elapsed, upstreamSubs, nil
+}
+
+// durableMiner builds a WAL-synced miner in a throwaway data dir.
+func durableMiner(w *contract.World, cfg ReadsConfig) (*node.Node, func(), error) {
+	dir, err := os.MkdirTemp("", "readsbench-")
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: reads miner dir: %w", err)
+	}
+	n, err := node.New(node.Config{
+		World: w, Workers: cfg.Workers, Engine: cfg.Engine,
+		DataDir: dir, Persist: persist.Options{SyncEvery: 1, SnapshotEvery: -1},
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, fmt.Errorf("bench: reads miner: %w", err)
+	}
+	cleanup := func() {
+		n.Close()
+		os.RemoveAll(dir)
+	}
+	return n, cleanup, nil
+}
+
+// mineBatch drives one timed batch remotely, one block per round trip,
+// and returns its blocks/s.
+func mineBatch(cfg ReadsConfig, sdk *client.Client, n *node.Node, calls []contract.Call) (float64, error) {
+	n.SubmitAll(calls)
+	ctx := context.Background()
+	// Settle GC debt from the previous batch (and the other miner's)
+	// before the timer starts, as testing.B does between runs —
+	// otherwise a collection triggered by older garbage lands inside
+	// whichever batch happens to cross the heap-growth threshold.
+	runtime.GC()
+	start := time.Now()
+	for b := 0; b < cfg.MinerBlocks; b++ {
+		if _, err := sdk.Mine(ctx, cfg.MinerBlockSize); err != nil {
+			return 0, fmt.Errorf("bench: reads mine block %d: %w", b+1, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if s := elapsed.Seconds(); s > 0 {
+		return float64(cfg.MinerBlocks) / s, nil
+	}
+	return 0, nil
+}
+
+// measureMinerOverhead compares the miner bare vs with one live
+// replica applying its blocks. The two miners mine in alternating
+// batches, so slow stretches of the host hit both sides alike, and
+// each side keeps its best batch.
+func measureMinerOverhead(cfg ReadsConfig) (baseline, withReplica float64, err error) {
+	perBatch := cfg.MinerBlocks * cfg.MinerBlockSize
+	mw, mc, err := cluster.GenerateWorlds(workload.Params{
+		Kind: cfg.Kind, Transactions: cfg.MinerRuns * perBatch,
+		ConflictPercent: cfg.ConflictPercent, Seed: cfg.Seed + 1,
+	}, 3)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: reads miner workload: %w", err)
+	}
+
+	// Bare miner, and an identical one with a live replica attached.
+	base, cleanupBase, err := durableMiner(mw[0], cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanupBase()
+	baseSrv := httptest.NewServer(base.Handler())
+	defer baseSrv.Close()
+
+	miner, cleanupMiner, err := durableMiner(mw[1], cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanupMiner()
+	minerSrv := httptest.NewServer(miner.Handler())
+	defer minerSrv.Close()
+	rep, err := startReadReplica(mw[2], minerSrv.URL, 0, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if cerr := rep.close(); cerr != nil && err == nil {
+			baseline, withReplica, err = 0, 0, cerr
+		}
+	}()
+
+	// Hold mining until the relay's subscription is live, so every
+	// block travels through the fan-out machinery during the timing.
+	ctx := context.Background()
+	upSDK := client.New(minerSrv.URL)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, serr := upSDK.Status(ctx)
+		if serr != nil {
+			return 0, 0, fmt.Errorf("bench: reads miner status: %w", serr)
+		}
+		if st.API != nil && st.API.Subscribers >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, errors.New("bench: reads replica never subscribed to the miner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	baseSDK := client.New(baseSrv.URL, client.WithHTTPClient(rttClient(cfg.MineRTT)))
+	withSDK := client.New(minerSrv.URL, client.WithHTTPClient(rttClient(cfg.MineRTT)))
+	for r := 0; r < cfg.MinerRuns; r++ {
+		batch := mc[r*perBatch : (r+1)*perBatch]
+		bps, berr := mineBatch(cfg, baseSDK, base, batch)
+		if berr != nil {
+			return 0, 0, berr
+		}
+		if bps > baseline {
+			baseline = bps
+		}
+		bps, berr = mineBatch(cfg, withSDK, miner, batch)
+		if berr != nil {
+			return 0, 0, berr
+		}
+		if bps > withReplica {
+			withReplica = bps
+		}
+	}
+
+	// The replica must have followed without divergence.
+	deadline = time.Now().Add(30 * time.Second)
+	for rep.rep.Node().Height() < uint64(cfg.MinerRuns*cfg.MinerBlocks) {
+		if time.Now().After(deadline) {
+			return 0, 0, errors.New("bench: reads replica fell behind the miner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rep.rep.Node().Head().Header.Hash() != miner.Head().Header.Hash() {
+		return 0, 0, errors.New("bench: reads replica diverged from the miner")
+	}
+	return baseline, withReplica, nil
+}
+
+// SweepReads mines the read chain once and measures every phase: QPS
+// per replica count, SSE fan-out, and miner overhead.
+func SweepReads(cfg ReadsConfig) (ReadsReport, error) {
+	cfg = cfg.WithDefaults()
+	report := ReadsReport{
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Engine:          cfg.Engine.String(),
+		Blocks:          cfg.Blocks,
+		BlockSize:       cfg.BlockSize,
+		ConflictPercent: cfg.ConflictPercent,
+		Workers:         cfg.Workers,
+		ReadRTTMs:       float64(cfg.ReadRTT) / float64(time.Millisecond),
+		MaxInFlight:     cfg.MaxInFlight,
+		MaxLag:          cfg.MaxLag,
+		MineRTTMs:       float64(cfg.MineRTT) / float64(time.Millisecond),
+		MinerBlocks:     cfg.MinerBlocks,
+		MinerBlockSize:  cfg.MinerBlockSize,
+		MinerRuns:       cfg.MinerRuns,
+	}
+
+	// One world per follower (every sweep replica + the fan-out one)
+	// plus the miner's; all identical genesis. The call list holds one
+	// extra block the fan-out phase mines live.
+	followers := 1 // fan-out replica
+	for _, c := range cfg.ReplicaCounts {
+		followers += c
+	}
+	totalTxs := (cfg.Blocks + 1) * cfg.BlockSize
+	worlds, calls, err := cluster.GenerateWorlds(workload.Params{
+		Kind: cfg.Kind, Transactions: totalTxs,
+		ConflictPercent: cfg.ConflictPercent, Seed: cfg.Seed,
+	}, followers+1)
+	if err != nil {
+		return ReadsReport{}, fmt.Errorf("bench: reads workload: %w", err)
+	}
+
+	up, err := node.New(node.Config{World: worlds[0], Workers: cfg.Workers, Engine: cfg.Engine})
+	if err != nil {
+		return ReadsReport{}, fmt.Errorf("bench: reads upstream: %w", err)
+	}
+	srv := httptest.NewServer(up.Handler())
+	defer srv.Close()
+	up.SubmitAll(calls[:cfg.Blocks*cfg.BlockSize])
+	for b := 0; b < cfg.Blocks; b++ {
+		if _, err := up.MineOne(cfg.BlockSize); err != nil {
+			return ReadsReport{}, fmt.Errorf("bench: reads mine block %d: %w", b+1, err)
+		}
+	}
+
+	next := 1
+	var at1 float64
+	for _, count := range cfg.ReplicaCounts {
+		pt, err := measureReadPoint(cfg, srv.URL, worlds[next:next+count], count)
+		if err != nil {
+			return ReadsReport{}, err
+		}
+		next += count
+		if count == 1 {
+			at1 = pt.ReadsPerSec
+		}
+		if at1 > 0 {
+			pt.SpeedupVs1 = pt.ReadsPerSec / at1
+		}
+		if count == 4 {
+			report.SpeedupAt4 = pt.SpeedupVs1
+		}
+		report.Points = append(report.Points, pt)
+	}
+
+	fanElapsed, upstreamSubs, err := measureFanout(cfg, up, srv.URL, worlds[next], calls[cfg.Blocks*cfg.BlockSize:])
+	if err != nil {
+		return ReadsReport{}, err
+	}
+	report.FanoutSubscribers = cfg.Subscribers
+	report.FanoutUpstreamSubs = upstreamSubs
+	report.FanoutElapsedNs = fanElapsed.Nanoseconds()
+	if s := fanElapsed.Seconds(); s > 0 {
+		report.FanoutEventsPerSec = float64(cfg.Subscribers) / s
+	}
+
+	baseline, withReplica, err := measureMinerOverhead(cfg)
+	if err != nil {
+		return ReadsReport{}, err
+	}
+	report.MinerBaselineBPS = baseline
+	report.MinerWithReplicaBPS = withReplica
+	if baseline > 0 {
+		report.MinerOverheadPercent = (1 - withReplica/baseline) * 100
+	}
+	return report, nil
+}
+
+// WriteReadsJSON writes the report as indented JSON (the CI artifact).
+func WriteReadsJSON(w io.Writer, r ReadsReport) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadReadsReport decodes a BENCH_reads.json artifact.
+func ReadReadsReport(r io.Reader) (ReadsReport, error) {
+	var report ReadsReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return ReadsReport{}, fmt.Errorf("bench: reads report: %w", err)
+	}
+	return report, nil
+}
+
+// WriteReadsTable renders the sweep for humans.
+func WriteReadsTable(w io.Writer, r ReadsReport) {
+	fmt.Fprintf(w, "Read scale-out sweep [%s]: %d blocks × %d txs, %d%% conflict, %.1fms read RTT, max-in-flight %d, %s GOMAXPROCS=%d\n",
+		r.Engine, r.Blocks, r.BlockSize, r.ConflictPercent, r.ReadRTTMs, r.MaxInFlight, r.GoVersion, r.GOMAXPROCS)
+	fmt.Fprintf(w, "  %-9s %-8s %-8s %-12s %-12s %-8s\n",
+		"replicas", "readers", "reads", "elapsed", "reads/s", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-9d %-8d %-8d %-12s %-12.1f %-8.2f\n",
+			p.Replicas, p.Readers, p.Reads,
+			time.Duration(p.ElapsedNs).Round(time.Millisecond), p.ReadsPerSec, p.SpeedupVs1)
+	}
+	fmt.Fprintf(w, "  fan-out: %d SSE subscribers, %d upstream connection(s), delivered in %s (%.0f ev/s)\n",
+		r.FanoutSubscribers, r.FanoutUpstreamSubs,
+		time.Duration(r.FanoutElapsedNs).Round(time.Millisecond), r.FanoutEventsPerSec)
+	fmt.Fprintf(w, "  miner: %.1f blocks/s bare, %.1f with a replica attached (%.1f%% overhead; best of %d × %d blocks of %d txs, %.1fms mine RTT)\n\n",
+		r.MinerBaselineBPS, r.MinerWithReplicaBPS, r.MinerOverheadPercent,
+		r.MinerRuns, r.MinerBlocks, r.MinerBlockSize, r.MineRTTMs)
+}

@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMinerOverheadProbe is a calibration harness, not a regression
+// test: it prints the miner-overhead phase under several pacing
+// configurations so the sweep defaults can be chosen on real numbers.
+// Enable with READS_PROBE=1.
+func TestMinerOverheadProbe(t *testing.T) {
+	if os.Getenv("READS_PROBE") == "" {
+		t.Skip("calibration probe; set READS_PROBE=1 to run")
+	}
+	for i := 0; i < 4; i++ {
+		cfg := ReadsConfig{}.WithDefaults()
+		base, with, err := measureMinerOverhead(cfg)
+		if err != nil {
+			t.Fatalf("probe run %d: %v", i+1, err)
+		}
+		t.Logf("run %d: blocks=%d×%d size=%d rtt=%s: base=%.1f with=%.1f overhead=%.2f%%",
+			i+1, cfg.MinerRuns, cfg.MinerBlocks, cfg.MinerBlockSize, cfg.MineRTT,
+			base, with, (1-with/base)*100)
+	}
+}

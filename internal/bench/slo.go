@@ -2,18 +2,24 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"runtime"
 	"sort"
 	"testing"
 
+	"contractstm/internal/api"
+	"contractstm/internal/api/client"
+	"contractstm/internal/api/wire"
 	"contractstm/internal/chain"
 	"contractstm/internal/contract"
 	"contractstm/internal/engine"
 	"contractstm/internal/mempool"
 	"contractstm/internal/miner"
+	"contractstm/internal/node"
 	rt "contractstm/internal/runtime"
 	"contractstm/internal/txpool"
 	"contractstm/internal/types"
@@ -300,6 +306,60 @@ func RunSLO(cfg SLOConfig) (HotpathReport, error) {
 			}
 		})
 		report.Metrics = append(report.Metrics, metricOf("mempool/admit", br))
+	}
+
+	// Replica read hot path: one stamped-and-gated /v1/head read per op
+	// through the full serving stack (mux, measure middleware, read
+	// stamp, JSON encode) and the SDK, against an in-process listener —
+	// the per-read CPU cost a read replica pays before wire latency.
+	{
+		wl, err := workload.Generate(params)
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: generate: %w", err)
+		}
+		n, err := node.New(node.Config{World: wl.World, Workers: cfg.Workers, Runner: rt.NewSimRunner()})
+		if err != nil {
+			return HotpathReport{}, fmt.Errorf("bench: replica read node: %w", err)
+		}
+		srv := httptest.NewServer(n.Handler())
+		c := client.New(srv.URL)
+		ctx := context.Background()
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Head(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		srv.Close()
+		report.Metrics = append(report.Metrics, metricOf("replica/read", br))
+	}
+
+	// Relay fan-out hot path: one broker publish fanned out to 256
+	// subscribers per op, drained inline — the per-event cost of the SSE
+	// relay hub's local re-fan-out, independent of socket I/O.
+	{
+		const fanout = 256
+		broker := api.NewBrokerRetaining(api.DefaultEventReplayDepth)
+		subs := make([]*api.Subscription, fanout)
+		for i := range subs {
+			subs[i] = broker.Subscribe(1)
+		}
+		ev := wire.Event{Block: wire.BlockInfoOf(block), Receipts: wire.ReceiptsOf(block)}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				broker.Publish(ev)
+				for _, s := range subs {
+					<-s.C
+				}
+			}
+		})
+		for _, s := range subs {
+			s.Close()
+		}
+		report.Metrics = append(report.Metrics, metricOf("relay/fanout", br))
 	}
 
 	sort.Slice(report.Metrics, func(i, j int) bool {

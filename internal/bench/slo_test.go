@@ -83,6 +83,8 @@ func TestThresholdFileMatchesSweep(t *testing.T) {
 		"engine/occ/mine":         true,
 		"import/validate":         true,
 		"mempool/admit":           true,
+		"replica/read":            true,
+		"relay/fanout":            true,
 	}
 	for _, c := range th.Checks {
 		if !emitted[c.Metric] {

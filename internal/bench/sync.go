@@ -90,29 +90,6 @@ func (c SyncConfig) WithDefaults() SyncConfig {
 	return c
 }
 
-// latencyTransport injects a fixed round-trip delay before every
-// request, modeling the wire between follower and peer. The delay is
-// pure sleep: on the staged path it overlaps with commit-side compute
-// exactly as real network latency would.
-type latencyTransport struct {
-	rtt  time.Duration
-	base http.RoundTripper
-}
-
-// RoundTrip implements http.RoundTripper.
-func (t *latencyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	if t.rtt > 0 {
-		timer := time.NewTimer(t.rtt)
-		select {
-		case <-timer.C:
-		case <-req.Context().Done():
-			timer.Stop()
-			return nil, req.Context().Err()
-		}
-	}
-	return t.base.RoundTrip(req)
-}
-
 // SyncPoint is one measured catch-up: a fresh follower importing the
 // full chain from the miner's HTTP endpoint.
 type SyncPoint struct {
@@ -160,7 +137,7 @@ func syncFollower(w *workloadWorld, url string, mode node.ImportMode, workers, e
 	if err != nil {
 		return 0, 0, fmt.Errorf("bench: sync follower: %w", err)
 	}
-	hc := &http.Client{Transport: &latencyTransport{rtt: rtt, base: http.DefaultTransport}}
+	hc := &http.Client{Transport: &cluster.LatencyTransport{RTT: rtt}}
 	peer := cluster.NewPeer(url, hc)
 	start := time.Now()
 	imported, err := cluster.SyncWith(context.Background(), follower, peer, importer.Config{Workers: workers})

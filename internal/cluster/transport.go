@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// LatencyTransport injects a fixed round-trip delay before every
+// request, modeling the wire between a follower and a peer one network
+// hop away. The delay is pure sleep, so it overlaps with server-side
+// compute exactly as real network latency would — benchmarks use it to
+// restore the per-request cost a loopback listener hides, and replica
+// read sweeps use it to model client-observed read latency.
+type LatencyTransport struct {
+	// RTT is the simulated round-trip time added to every request
+	// (0 = none).
+	RTT time.Duration
+	// Base performs the actual request (nil = http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *LatencyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.RTT > 0 {
+		timer := time.NewTimer(t.RTT)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -119,6 +119,14 @@ type Config struct {
 	// ReceiptCapacity bounds the in-memory receipt index
 	// (0 = api.DefaultReceiptCapacity).
 	ReceiptCapacity int
+	// SubscriberBuffer sizes each /v1/subscribe subscriber's event
+	// buffer (0 = api.DefaultSubscriberBuffer). Relay nodes serving many
+	// downstream subscribers raise it.
+	SubscriberBuffer int
+	// EventReplayDepth is how many published events the broker retains
+	// for Last-Event-ID reconnect replay (0 = api.DefaultEventReplayDepth,
+	// negative disables replay).
+	EventReplayDepth int
 	// ErrorLog receives node- and API-level serving faults that would
 	// otherwise be swallowed (response-encoding failures and the like).
 	// Nil logs to the standard logger.
@@ -187,6 +195,13 @@ type Node struct {
 	// durableHeight is the newest block acknowledged by the persistence
 	// layer (atomic; equals the sealed height on a non-durable node).
 	durableHeight atomic.Uint64
+	// lastDurableAt is when the durable height last advanced, in unix
+	// milliseconds (atomic; 0 until the first advance). The API's
+	// X-Chain-Staleness header derives from it.
+	lastDurableAt atomic.Int64
+	// history, when attached (SetHistory), materializes historical state
+	// reads for the API's ?height=H queries. Guarded by n.mu.
+	history HistoryReader
 	// publish is the post-durability announce hook (Config.Publish;
 	// guarded by n.mu so SetPublish can install it after construction).
 	publish func(chain.Block)
@@ -268,7 +283,13 @@ func New(cfg Config) (*Node, error) {
 		n.errLog = func(err error) { log.Printf("node: %v", err) }
 	}
 	n.receipts = api.NewReceiptStore(cfg.ReceiptCapacity)
-	n.events = api.NewBroker()
+	replayDepth := cfg.EventReplayDepth
+	if replayDepth == 0 {
+		replayDepth = api.DefaultEventReplayDepth
+	} else if replayDepth < 0 {
+		replayDepth = 0
+	}
+	n.events = api.NewBrokerRetaining(replayDepth)
 	if cfg.DataDir != "" {
 		if err := n.openDurable(cfg, root); err != nil {
 			// Release the directory lock a partially-opened log holds, or
@@ -295,6 +316,7 @@ func New(cfg Config) (*Node, error) {
 		DefaultGasLimit:  cfg.DefaultGasLimit,
 		MaxGasLimit:      cfg.MaxGasLimit,
 		MaxBodyBytes:     cfg.MaxBodyBytes,
+		SubscriberBuffer: cfg.SubscriberBuffer,
 		ErrorLog:         n.errLog,
 	})
 	return n, nil
@@ -401,7 +423,7 @@ func (n *Node) openDurable(cfg Config, genesisRoot types.Hash) error {
 		n.maybeSnapshot(0)
 	}
 	// Everything recovered from disk is by definition durable.
-	n.durableHeight.Store(n.chain.Head().Header.Number)
+	n.markDurable(n.chain.Head().Header.Number)
 	return nil
 }
 
@@ -549,6 +571,14 @@ func (n *Node) recordDurable(b chain.Block) {
 	n.events.Publish(wire.Event{Block: wire.BlockInfoOf(b), Receipts: recs})
 }
 
+// markDurable advances the durable height and stamps when it happened —
+// the staleness clock behind the API's X-Chain-Staleness header. Every
+// durable-height advance funnels through here.
+func (n *Node) markDurable(height uint64) {
+	n.durableHeight.Store(height)
+	n.lastDurableAt.Store(time.Now().UnixMilli())
+}
+
 // PoolLen reports queued transactions.
 func (n *Node) PoolLen() int { return n.pool.Len() }
 
@@ -605,7 +635,7 @@ func (n *Node) MineOne(blockSize int) (chain.Block, error) {
 		n.pool.RequeueBatch(sel)
 		return chain.Block{}, fmt.Errorf("node: persist: %w", err)
 	}
-	n.durableHeight.Store(res.Block.Header.Number)
+	n.markDurable(res.Block.Header.Number)
 
 	n.mu.Lock()
 	err = n.chain.Append(res.Block)
@@ -772,7 +802,7 @@ func (n *Node) entryDurable(e *inflightEntry, err error) {
 	}
 	publish := n.publish
 	n.mu.Unlock()
-	n.durableHeight.Store(e.block.Header.Number)
+	n.markDurable(e.block.Header.Number)
 	// The durability line: receipts for this block become queryable now,
 	// never at seal time — a crash between seal and this verdict voids
 	// the block, and served receipts must not outlive their block.
@@ -962,7 +992,7 @@ func (n *Node) acceptBlock(b chain.Block, pre *validator.Prechecked, preErr erro
 		n.world.Restore(snap)
 		return fmt.Errorf("node: persist: %w", err)
 	}
-	n.durableHeight.Store(b.Header.Number)
+	n.markDurable(b.Header.Number)
 	n.mu.Lock()
 	err = n.chain.Append(b)
 	if err == nil {
@@ -1060,7 +1090,7 @@ func (n *Node) installSnapshotState(s persist.Snapshot) (*persist.Log, error) {
 	n.lastSnapHeight.Store(s.Height())
 	// The installed checkpoint is this chain's new root: everything the
 	// node now holds is at least as durable as the snapshot itself.
-	n.durableHeight.Store(s.Height())
+	n.markDurable(s.Height())
 	return n.log, nil
 }
 

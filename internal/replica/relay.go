@@ -1,0 +1,300 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"contractstm/internal/api/client"
+	"contractstm/internal/api/wire"
+	"contractstm/internal/chain"
+	"contractstm/internal/node"
+)
+
+// Defaults for RelayConfig's zero values.
+const (
+	// DefaultRelayBackoff is the first reconnect delay.
+	DefaultRelayBackoff = 100 * time.Millisecond
+	// DefaultRelayMaxBackoff caps the reconnect delay.
+	DefaultRelayMaxBackoff = 5 * time.Second
+	// relayFetchBatch is the range-fetch size used for gap fill.
+	relayFetchBatch = 64
+)
+
+// RelayConfig assembles a Relay.
+type RelayConfig struct {
+	// Node is the local follower the relay applies upstream blocks to
+	// (required). Each applied block republishes through the node's own
+	// broker, which is the fan-out: downstream subscribers attach to
+	// this node, not the upstream.
+	Node *node.Node
+	// Upstream is the client for the node being followed (required).
+	Upstream *client.Client
+	// Backoff and MaxBackoff shape the reconnect delay (0 = defaults).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// ErrorLog receives non-fatal relay faults (reconnects, gap-fill
+	// retries). Nil discards.
+	ErrorLog func(error)
+}
+
+// Relay consumes ONE upstream subscribe stream and turns every durable
+// block event into a validated local import, which the local broker
+// republishes to this node's own /v1/subscribe subscribers — thousands
+// of downstream SSE connections cost the upstream miner exactly one.
+//
+// Reconnects resume with Last-Event-ID so the upstream replays the
+// missed events; when the gap outran the upstream's replay ring (the
+// reset signal), or events arrive with height gaps (a dropped
+// subscriber), the relay fills the hole through the range endpoint —
+// every filled block still goes through full local validation.
+type Relay struct {
+	n      *node.Node
+	up     *client.Client
+	base   time.Duration
+	max    time.Duration
+	errLog func(error)
+
+	events         atomic.Int64
+	reconnects     atomic.Int64
+	gapsFilled     atomic.Int64
+	upstreamHeight atomic.Uint64
+}
+
+// NewRelay builds a relay; Run starts it.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if cfg.Node == nil || cfg.Upstream == nil {
+		return nil, errors.New("replica: relay needs a node and an upstream client")
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultRelayBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultRelayMaxBackoff
+	}
+	r := &Relay{
+		n:      cfg.Node,
+		up:     cfg.Upstream,
+		base:   cfg.Backoff,
+		max:    cfg.MaxBackoff,
+		errLog: cfg.ErrorLog,
+	}
+	if r.errLog == nil {
+		r.errLog = func(error) {}
+	}
+	return r, nil
+}
+
+// Status snapshots the relay's accounting in wire form.
+func (r *Relay) Status() wire.RelayStatus {
+	return wire.RelayStatus{
+		Upstream:       r.up.URL(),
+		Events:         r.events.Load(),
+		Reconnects:     r.reconnects.Load(),
+		GapsFilled:     r.gapsFilled.Load(),
+		UpstreamHeight: r.upstreamHeight.Load(),
+	}
+}
+
+// Run drives the relay until the context ends (returned as its cause)
+// or a block the upstream serves fails local validation — divergence is
+// fatal, not retryable. The subscribe stream is re-established with
+// exponential backoff on every other failure.
+func (r *Relay) Run(ctx context.Context) error {
+	var lastSeq uint64
+	haveSeq := false
+	delay := r.base
+	first := true
+	for {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		var stream *client.Stream
+		var err error
+		if haveSeq {
+			stream, err = r.up.Subscribe(ctx, client.WithLastEventID(lastSeq))
+		} else {
+			stream, err = r.up.Subscribe(ctx)
+		}
+		if err != nil {
+			r.errLog(fmt.Errorf("replica: relay subscribe: %w", err))
+			if !first {
+				r.reconnects.Add(1)
+			}
+			first = false
+			if !r.sleep(ctx, delay) {
+				return context.Cause(ctx)
+			}
+			if delay *= 2; delay > r.max {
+				delay = r.max
+			}
+			continue
+		}
+		if !first {
+			r.reconnects.Add(1)
+		}
+		first = false
+		delay = r.base
+		// A fresh stream starts past whatever the upstream replayed; any
+		// hole between our applied height and the stream is height-gap
+		// filled as events arrive. Catch up eagerly first so the filling
+		// stays incremental.
+		if err := r.catchUp(ctx); err != nil {
+			stream.Close()
+			return err
+		}
+		err = r.consume(ctx, stream)
+		if id, ok := stream.LastEventID(); ok {
+			lastSeq, haveSeq = id, true
+		}
+		stream.Close()
+		if err != nil {
+			return err
+		}
+		if !r.sleep(ctx, delay) {
+			return context.Cause(ctx)
+		}
+	}
+}
+
+// consume drains one stream until it breaks. A nil return means
+// "reconnect"; a non-nil return is fatal (context end or local
+// validation rejecting an upstream block).
+func (r *Relay) consume(ctx context.Context, stream *client.Stream) error {
+	for {
+		ev, err := stream.Next()
+		switch {
+		case errors.Is(err, client.ErrStreamReset):
+			// The gap outran the upstream's replay ring: range-fill up
+			// to the upstream head, then keep consuming this stream.
+			if err := r.catchUp(ctx); err != nil {
+				return err
+			}
+			continue
+		case errors.Is(err, client.ErrStreamDropped):
+			r.errLog(errors.New("replica: relay dropped by upstream (fell behind)"))
+			return nil
+		case errors.Is(err, io.EOF):
+			return nil
+		case err != nil:
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			r.errLog(fmt.Errorf("replica: relay stream: %w", err))
+			return nil
+		}
+		r.events.Add(1)
+		r.observeHeight(ev.Block.Number)
+		if err := r.apply(ctx, ev); err != nil {
+			return err
+		}
+	}
+}
+
+// apply brings the local node up to the event's block: the common case
+// imports exactly that block; a height gap (events lost to a drop)
+// range-fills the hole first. Events at or under the local head are
+// duplicates from replay overlap and are skipped.
+func (r *Relay) apply(ctx context.Context, ev wire.Event) error {
+	local := r.n.Height()
+	if ev.Block.Number <= local {
+		return nil
+	}
+	if gap := ev.Block.Number - local - 1; gap > 0 {
+		if err := r.fillRange(ctx, local+1, ev.Block.Number-1); err != nil {
+			return err
+		}
+	}
+	b, err := r.up.Block(ctx, ev.Block.Number)
+	if err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		// The fetch can fail transiently; the next event (or reconnect)
+		// will gap-fill past this height.
+		r.errLog(fmt.Errorf("replica: relay fetch block %d: %w", ev.Block.Number, err))
+		return nil
+	}
+	return r.importBlock(b)
+}
+
+// catchUp range-fills from the local head to the upstream's durable
+// head.
+func (r *Relay) catchUp(ctx context.Context) error {
+	head, err := r.up.Head(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		r.errLog(fmt.Errorf("replica: relay head: %w", err))
+		return nil
+	}
+	r.observeHeight(head.Number)
+	local := r.n.Height()
+	if head.Number <= local {
+		return nil
+	}
+	return r.fillRange(ctx, local+1, head.Number)
+}
+
+// fillRange imports [from, to] through the range endpoint, counting the
+// blocks toward the gap-fill metric. Every block passes full local
+// validation via the node's import path.
+func (r *Relay) fillRange(ctx context.Context, from, to uint64) error {
+	for h := from; h <= to; {
+		count := int(to - h + 1)
+		if count > relayFetchBatch {
+			count = relayFetchBatch
+		}
+		blocks, err := r.up.Blocks(ctx, h, count)
+		if err != nil {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			r.errLog(fmt.Errorf("replica: relay gap fill at %d: %w", h, err))
+			return nil // transient; the stream or next reconnect retries
+		}
+		for _, b := range blocks {
+			if err := r.importBlock(b); err != nil {
+				return err
+			}
+			r.gapsFilled.Add(1)
+		}
+		h += uint64(len(blocks))
+	}
+	return nil
+}
+
+// importBlock runs one upstream block through the node's validated
+// import. Rejection is fatal: the upstream served a block this node's
+// deterministic validation refuses, which is divergence, not noise.
+func (r *Relay) importBlock(b chain.Block) error {
+	if _, err := r.n.ImportBlock(b); err != nil {
+		return fmt.Errorf("replica: relay import block %d: %w", b.Header.Number, err)
+	}
+	return nil
+}
+
+// observeHeight ratchets the observed upstream height.
+func (r *Relay) observeHeight(h uint64) {
+	for {
+		cur := r.upstreamHeight.Load()
+		if h <= cur || r.upstreamHeight.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
+
+// sleep waits d or until the context ends, reporting whether to
+// continue.
+func (r *Relay) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

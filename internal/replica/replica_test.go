@@ -1,0 +1,235 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"contractstm/internal/api/client"
+	"contractstm/internal/node"
+)
+
+// serveNode exposes a node over httptest.
+func serveNode(t *testing.T, n *node.Node) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(n.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// startReplica builds a replica over a same-genesis follower and runs
+// it until test cleanup.
+func startReplica(t *testing.T, upstream string, cfg Config) *Replica {
+	t.Helper()
+	follower, _ := histNode(t)
+	cfg.Node = follower
+	cfg.Upstream = upstream
+	if cfg.ErrorLog == nil {
+		cfg.ErrorLog = func(err error) { t.Logf("replica fault: %v", err) }
+	}
+	rep, err := New(cfg)
+	if err != nil {
+		t.Fatalf("replica.New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rep.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("replica.Run: %v", err)
+		}
+	})
+	return rep
+}
+
+// waitHeight polls until the node durably reaches height.
+func waitHeight(t *testing.T, n *node.Node, height uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Height() < height {
+		if time.Now().After(deadline) {
+			t.Fatalf("node stuck at height %d, want %d", n.Height(), height)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicaFollowsUpstream is the end-to-end read-path: initial sync
+// catches up blocks mined before the replica existed, the relay applies
+// blocks mined after, reads against the replica serve the upstream's
+// chain, and the status document reports the relay's accounting.
+func TestReplicaFollowsUpstream(t *testing.T) {
+	up, calls := histNode(t)
+	upSrv := serveNode(t, up)
+	// Two blocks exist before the replica starts: the initial-sync path.
+	mineChain(t, up, calls, 2)
+
+	shadow, _ := histWorld(t)
+	rep := startReplica(t, upSrv.URL, Config{ShadowWorld: shadow})
+	waitHeight(t, rep.Node(), 2)
+
+	// Hold the next blocks until the relay's stream is established —
+	// otherwise initial sync could carry them and the relay-path
+	// accounting below would have nothing to count.
+	upSDK := client.New(upSrv.URL)
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := upSDK.Status(ctx)
+		if err != nil {
+			t.Fatalf("upstream status: %v", err)
+		}
+		if st.API != nil && st.API.Subscribers >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("relay never subscribed upstream")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Two more arrive live: the relay path.
+	up.SubmitAll(calls[2*histBlockSize : histBlocks*histBlockSize])
+	for i := 2; i < histBlocks; i++ {
+		if _, err := up.MineOne(histBlockSize); err != nil {
+			t.Fatalf("mine %d: %v", i+1, err)
+		}
+	}
+	waitHeight(t, rep.Node(), histBlocks)
+	if rep.Node().Head().Header.Hash() != up.Head().Header.Hash() {
+		t.Fatal("replica head diverged from upstream")
+	}
+
+	// Reads through the replica's own API: live, bounded-staleness, and
+	// historical.
+	repSrv := serveNode(t, rep.Node())
+	sdk := client.New(repSrv.URL)
+	head, err := sdk.Head(ctx, client.WithMinHeight(histBlocks))
+	if err != nil || head.Number != histBlocks {
+		t.Fatalf("replica head = %+v, %v", head, err)
+	}
+	if b, err := sdk.BalanceInfo(ctx, up.Head().Calls[0].Sender, client.AtHeight(2)); err != nil || b.Height != 2 {
+		t.Fatalf("historical read = %+v, %v", b, err)
+	}
+
+	// The status document carries the relay accounting.
+	st, err := sdk.Status(ctx)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Relay == nil || st.Relay.Upstream != upSrv.URL {
+		t.Fatalf("status.relay = %+v", st.Relay)
+	}
+	// The two live blocks arrived through the relay — as stream events
+	// or, when catch-up wins the race, as gap fills.
+	if st.Relay.Events+st.Relay.GapsFilled < 2 || st.Relay.UpstreamHeight != histBlocks {
+		t.Fatalf("relay accounting = %+v", st.Relay)
+	}
+}
+
+// TestRelayReconnects: a dropped upstream stream is re-established and
+// missed blocks are recovered — the counter proves the drop was seen,
+// the height proves nothing was lost.
+func TestRelayReconnects(t *testing.T) {
+	up, calls := histNode(t)
+	inner := up.Handler()
+	var killFirst atomic.Bool
+	killFirst.Store(true)
+	// The first subscribe stream is accepted, then cut mid-stream — an
+	// upstream restart as the relay sees it. The cut lands after the SSE
+	// preamble so the SDK's transport-level retry cannot mask it.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/subscribe" && killFirst.Swap(false) {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder not hijackable")
+				return
+			}
+			conn, buf, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			_, _ = buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\r\n: subscribed\n\n")
+			_ = buf.Flush()
+			conn.Close()
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	rep := startReplica(t, srv.URL, Config{
+		Relay: RelayConfig{Backoff: time.Millisecond},
+	})
+	mineChain(t, up, calls, histBlocks)
+	waitHeight(t, rep.Node(), histBlocks)
+	if rep.Node().Head().Header.Hash() != up.Head().Header.Hash() {
+		t.Fatal("replica diverged across the reconnect")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Relay().Status().Reconnects < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay accounting = %+v, want at least one reconnect", rep.Relay().Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRelayFanOut: many downstream SSE subscribers ride the replica
+// while the upstream carries exactly one subscribe connection — the
+// whole point of the relay hub.
+func TestRelayFanOut(t *testing.T) {
+	const subscribers = 50
+	up, calls := histNode(t)
+	upSrv := serveNode(t, up)
+	rep := startReplica(t, upSrv.URL, Config{})
+	repSrv := serveNode(t, rep.Node())
+
+	ctx := context.Background()
+	sdk := client.New(repSrv.URL)
+	streams := make([]*client.Stream, subscribers)
+	for i := range streams {
+		s, err := sdk.Subscribe(ctx)
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+		defer s.Close()
+		streams[i] = s
+	}
+
+	mineChain(t, up, calls, 1)
+	var wg sync.WaitGroup
+	fails := make(chan error, subscribers)
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s *client.Stream) {
+			defer wg.Done()
+			ev, err := s.Next()
+			if err != nil || ev.Block.Number != 1 {
+				fails <- errors.New("subscriber missed the relayed block")
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	close(fails)
+	if err := <-fails; err != nil {
+		t.Fatal(err)
+	}
+
+	// The miner carries the relay's single subscription, no matter how
+	// many clients sit behind the replica.
+	upStatus, err := client.New(upSrv.URL).Status(ctx)
+	if err != nil {
+		t.Fatalf("upstream status: %v", err)
+	}
+	if upStatus.API == nil || upStatus.API.Subscribers != 1 {
+		t.Fatalf("upstream subscribers = %+v, want exactly the relay", upStatus.API)
+	}
+}
